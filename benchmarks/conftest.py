@@ -1,0 +1,35 @@
+"""Benchmark harness configuration.
+
+One quick-scale measurement session is shared by every table/figure
+benchmark; each benchmark then measures the *regeneration* cost of its
+artifact (trace expansion + simulation + aggregation) with warm traces,
+and asserts the paper-shape anchors on the result.
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+from repro.core import SuiteMeasurement
+
+#: Canonical instructions for the benchmark session (quick scale).
+BENCH_INSTRUCTIONS = 400_000
+
+
+@pytest.fixture(scope="session")
+def session():
+    measurement = SuiteMeasurement(total_instructions=BENCH_INSTRUCTIONS)
+    # Force trace construction up front so benchmarks measure the
+    # experiment computation, not one-time synthesis.
+    _ = measurement.benchmarks
+    return measurement
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under the benchmark clock."""
+
+    def runner(func, *args):
+        return benchmark.pedantic(func, args=args, rounds=1, iterations=1)
+
+    return runner

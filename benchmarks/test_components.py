@@ -1,0 +1,83 @@
+"""Throughput benchmarks for the simulation substrates.
+
+These are not paper artifacts; they track the cost of the hot kernels so
+performance regressions in the simulators are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.branchpred import BranchTargetBuffer
+from repro.cache.fastsim import direct_mapped_misses
+from repro.cache import Cache
+from repro.timing import TimingAnalyzer, build_cpu_datapath
+from repro.trace import TraceExecutor
+from repro.workload import DataReferenceModel, benchmark_by_name, synthesize_program
+
+
+@pytest.fixture(scope="module")
+def gcc_program():
+    return synthesize_program(benchmark_by_name("gcc"))
+
+
+def test_bench_synthesis(benchmark):
+    spec = benchmark_by_name("espresso")
+    program = benchmark(synthesize_program, spec)
+    assert program.static_instruction_count > 10_000
+
+
+def test_bench_trace_executor(benchmark, gcc_program):
+    def run():
+        return TraceExecutor(gcc_program, seed=1).run(100_000)
+
+    trace = benchmark(run)
+    assert trace.instruction_count >= 100_000
+
+
+def test_bench_fastsim_direct_mapped(benchmark):
+    rng = np.random.default_rng(7)
+    blocks = (rng.random(1_000_000) ** 2 * 100_000).astype(np.int64)
+    misses = benchmark(direct_mapped_misses, blocks, 1024)
+    assert 0 < misses < len(blocks)
+
+
+def test_bench_reference_cache(benchmark):
+    rng = np.random.default_rng(9)
+    addresses = (rng.random(20_000) ** 2 * 1_000_000).astype(np.int64) * 4
+
+    def run():
+        cache = Cache(size_words=4096, block_words=4, associativity=2)
+        cache.access_many(addresses.tolist())
+        return cache.stats.misses
+
+    misses = benchmark(run)
+    assert misses > 0
+
+
+def test_bench_btb(benchmark):
+    rng = np.random.default_rng(11)
+    pcs = rng.choice(np.arange(0x4000, 0x4000 + 4 * 2048, 4), size=100_000)
+    taken = rng.random(100_000) < 0.7
+    targets = pcs + 64
+
+    def run():
+        return BranchTargetBuffer().simulate(pcs, taken, targets)
+
+    stats = benchmark(run)
+    assert stats.ctis == 100_000
+
+
+def test_bench_data_reference_model(benchmark):
+    model = DataReferenceModel(benchmark_by_name("spice2g6"), seed=3)
+    addresses = benchmark(model.generate, 500_000)
+    assert len(addresses) == 500_000
+
+
+def test_bench_timing_analyzer(benchmark):
+    circuit = build_cpu_datapath(8.0, 3)
+
+    def run():
+        return TimingAnalyzer(circuit).min_cycle_time()
+
+    period = benchmark(run)
+    assert period == pytest.approx(3.5, abs=0.01)

@@ -1,0 +1,33 @@
+"""Benchmarks for the extension studies (Section 6 + ablations)."""
+
+import pytest
+
+from repro.experiments import (
+    ext_associativity,
+    ext_blocksize,
+    ext_btb_size,
+)
+
+
+def test_ext_associativity_section6(run_once, session):
+    result = run_once(ext_associativity.run, session)
+    # The conjecture the paper closes with must hold: associativity pays
+    # more once the cache pipeline hides the longer access.
+    assert result.data["benefit_deep_ns"] > result.data["benefit_shallow_ns"]
+    assert result.data["benefit_deep_ns"] > 0
+
+
+def test_ext_blocksize_selection(run_once, session):
+    result = run_once(ext_blocksize.run, session)
+    # Fast refill tolerates (or prefers) bigger blocks than slow refill.
+    assert result.data[1]["best_block"] <= result.data[4]["best_block"]
+    # The refill arithmetic matches the paper's 6/10/18 construction.
+    assert result.data[1]["per_block"][16]["penalty_cycles"] == 18
+
+
+def test_ext_btb_size(run_once, session):
+    result = run_once(ext_btb_size.run, session)
+    wrong = [result.data[n]["wrong_rate"] for n in (64, 256, 1024, 4096)]
+    assert wrong == sorted(wrong, reverse=True)
+    # 256 entries is visibly capacity-limited on this workload.
+    assert result.data[256]["wrong_rate"] > result.data[4096]["wrong_rate"] + 0.01

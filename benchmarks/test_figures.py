@@ -1,0 +1,127 @@
+"""Benchmarks regenerating Figures 3-13, with paper-shape assertions."""
+
+import pytest
+
+from repro.experiments import (
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+)
+
+
+def test_fig3_icache_delay_slot_cost(run_once, session):
+    result = run_once(fig3.run, session)
+    icache = result.data["icache_cpi"]
+    # Paper: at 1 KW each slot adds measurable miss CPI; at 32 KW little.
+    per_slot_small = (icache[3][1] - icache[0][1]) / 3
+    per_slot_large = (icache[3][32] - icache[0][32]) / 3
+    assert 0.01 < per_slot_small < 0.10
+    assert per_slot_large < per_slot_small
+    # Curves fall with size for every slot count.
+    for slots in (0, 1, 2, 3):
+        assert icache[slots][1] > icache[slots][32]
+
+
+def test_fig4_double_and_add_a_slot(run_once, session):
+    result = run_once(fig4.run, session)
+    cpi = result.data["cpi"]
+    # Paper: over 1-16 KW, doubling the cache and adding a slot wins
+    # outright.  Our synthetic traces reproduce the win at the small end
+    # and near break-even (within 0.07 CPI) in the mid range, where the
+    # shorter traces flatten the miss curve (see EXPERIMENTS.md).
+    assert cpi[1][2] < cpi[0][1]
+    for slots, size in ((1, 2), (2, 4), (2, 8)):
+        assert cpi[slots + 1][size * 2] < cpi[slots][size] + 0.07
+
+
+def test_fig5_cpi_vs_cycle_time(run_once, session):
+    result = run_once(fig5.run, session)
+    cpi = result.data["cpi"]
+    for size, curve in cpi.items():
+        values = list(curve.values())
+        assert values == sorted(values, reverse=True)
+    # Smaller caches are affected more (steeper drop).
+    drop_small = cpi[1][3.5] - cpi[1][14.0]
+    drop_large = cpi[16][3.5] - cpi[16][14.0]
+    assert drop_small > drop_large
+
+
+def test_fig6_dynamic_epsilon(run_once, session):
+    result = run_once(fig6.run, session)
+    assert result.data["fraction_ge_3"] > 0.80  # paper: over 80 %
+
+
+def test_fig7_static_epsilon(run_once, session):
+    result = run_once(fig7.run, session)
+    # Paper: the static distribution has most mass at small epsilon.
+    assert result.data["fraction_ge_3"] < 0.65
+
+
+def test_fig8_load_slots_vs_dcache(run_once, session):
+    result = run_once(fig8.run, session)
+    cpi = result.data["cpi"]
+    for slots in (0, 3):
+        assert cpi[slots][1] > cpi[slots][32]
+    # Vertical offsets approximate the Table 5 static increments.
+    offset = cpi[2][8] - cpi[0][8]
+    assert offset == pytest.approx(0.16, abs=0.08)
+
+
+def test_fig9_penalty_sweep(run_once, session):
+    result = run_once(fig9.run, session)
+    cpi = result.data["cpi"]
+    for size in (1, 8, 32):
+        assert cpi[6][size] < cpi[10][size] < cpi[18][size]
+    # Higher penalty steepens the size dependence.
+    assert (cpi[18][1] - cpi[18][32]) > (cpi[6][1] - cpi[6][32])
+
+
+def test_fig10_floorplan(run_once, session):
+    result = run_once(fig10.run, session)
+    data = result.data
+    assert data[32]["chips"] > data[1]["chips"]
+    assert data[32]["t_l1_ns"] > data[1]["t_l1_ns"]
+    # Access times stay within the regime Table 6 needs.
+    assert 5.0 < data[1]["t_l1_ns"] < 8.0
+    assert 7.0 < data[32]["t_l1_ns"] < 11.0
+
+
+def test_fig11_required_reduction(run_once, session):
+    result = run_once(fig11.run, session)
+    req = result.data["required_reduction_pct"]
+    # Paper: two delay cycles need < 10 %; need grows with cache size.
+    assert all(req[2][size] < 10.0 for size in (1, 2, 4, 8, 16, 32))
+    assert req[2][32] > req[2][1]
+
+
+def test_fig12_tpi_optimum(run_once, session):
+    result = run_once(fig12.run, session)
+    best = result.data["best"]
+    tpi = result.data["tpi"]
+    # Paper: deep pipelines dominate; optimum at b=l in {2,3} with a
+    # medium-to-large cache, cycle time at/near the ALU floor.
+    assert best["b"] in (2, 3) and best["l"] in (2, 3)
+    assert best["combined_kw"] >= 16
+    assert best["t_cpu_ns"] < 3.7
+    assert tpi[(2, 2)][16] < 0.55 * tpi[(0, 0)][16]
+    # Dynamic load scheduling improves the optimum (paper: 6.8 -> 6.2).
+    assert result.data["best_dynamic"]["tpi_ns"] < best["tpi_ns"]
+
+
+def test_fig13_low_penalty_optimum(run_once, session):
+    result = run_once(fig13.run, session)
+    best = result.data["best"]
+    # Paper: cheaper refill shrinks the optimal cache and favours b=l=2.
+    assert best["b"] == 2 and best["l"] == 2
+    assert best["combined_kw"] <= 32
+    assert best["tpi_ns"] == pytest.approx(6.61, abs=0.6)
+    asym = result.data["best_asymmetric"]
+    assert asym["tpi_ns"] <= best["tpi_ns"] + 1e-9

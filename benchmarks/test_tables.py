@@ -1,0 +1,68 @@
+"""Benchmarks regenerating Tables 1-6, with paper-shape assertions."""
+
+import pytest
+
+from repro.experiments import table1, table2, table3, table4, table5, table6
+
+
+def test_table1_benchmark_characteristics(run_once, session):
+    result = run_once(table1.run, session)
+    rows = result.data["rows"]
+    assert len(rows) == 16
+    # The suite-wide mix should land near Table 1's totals.
+    total = sum(r["instructions"] for r in rows)
+    loads = sum(r["load_pct"] * r["instructions"] for r in rows) / total
+    assert loads == pytest.approx(24.7, abs=4.0)
+
+
+def test_table2_code_expansion(run_once, session):
+    result = run_once(table2.run, session)
+    expansion = result.data["expansion_pct"]
+    # Paper: 6 / 14 / 23 %; require the same regime and ordering.
+    assert 3.0 < expansion[1] < 9.0
+    assert 9.0 < expansion[2] < 18.0
+    assert 16.0 < expansion[3] < 28.0
+
+
+def test_table3_static_prediction(run_once, session):
+    result = run_once(table3.run, session)
+    data = result.data
+    # Paper: 3 slots cost ~0.087 CPI, far below the 0.39 worst case.
+    assert data[3]["additional_cpi"] < 0.16
+    assert data[1]["additional_cpi"] < data[2]["additional_cpi"]
+    assert data[3]["taken_accuracy"] > 0.85
+
+
+def test_table4_btb(run_once, session):
+    result = run_once(table4.run, session)
+    per_delay = result.data["per_delay"]
+    # Paper: 1.44/1.65/1.85 cycles per CTI; same regime expected.
+    assert 1.1 < per_delay[1]["cycles_per_cti"] < 2.2
+    assert per_delay[3]["cycles_per_cti"] > per_delay[1]["cycles_per_cti"]
+    # BTB loses (delay + 1) per wrong CTI: spacing must be ~wrong_rate.
+    spacing = per_delay[2]["cycles_per_cti"] - per_delay[1]["cycles_per_cti"]
+    assert spacing == pytest.approx(result.data["wrong_rate"], rel=0.05)
+
+
+def test_table5_load_delays(run_once, session):
+    result = run_once(table5.run, session)
+    data = result.data
+    # Paper: static 0.21/0.62/1.21 cycles per load; dynamic far lower.
+    assert data[1]["static_cycles_per_load"] == pytest.approx(0.21, abs=0.10)
+    assert data[2]["static_cycles_per_load"] == pytest.approx(0.62, abs=0.20)
+    assert data[3]["static_cycles_per_load"] == pytest.approx(1.21, abs=0.35)
+    for slots in (1, 2, 3):
+        assert (
+            data[slots]["dynamic_cycles_per_load"]
+            < 0.5 * data[slots]["static_cycles_per_load"]
+        )
+
+
+def test_table6_cycle_times(run_once, session):
+    result = run_once(table6.run, session)
+    cycle_ns = result.data["cycle_ns"]
+    # Paper's stated anchors.
+    assert cycle_ns[(1, 3)] == pytest.approx(3.5, abs=0.01)
+    assert all(cycle_ns[(s, 0)] > 10.0 for s in (1, 2, 4, 8, 16, 32))
+    assert cycle_ns[(32, 3)] == pytest.approx(3.5, abs=0.01)
+    assert cycle_ns[(32, 2)] > 3.5

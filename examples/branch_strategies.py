@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Hardware vs software branch-delay hiding — the Section 3.1 comparison.
+
+Compares the two schemes the paper evaluates, on the same traces:
+
+* **static** — delayed branches with optional squashing (compiler fills
+  slots from before the CTI or replicates target instructions; wrong
+  predictions squash);
+* **btb** — a 256-entry branch-target buffer with 2-bit counters (wrong
+  predictions pay the full delay plus a refill cycle).
+
+Also prints the I-cache cost of the static scheme's code expansion — the
+effect the paper warns "should not be ignored".
+
+Run:  python examples/branch_strategies.py
+"""
+
+import dataclasses
+
+from repro.core import CpiModel, SuiteMeasurement, SystemConfig
+from repro.core.config import BranchScheme
+from repro.utils.tables import render_table
+from repro.workload import benchmark_by_name
+
+
+def main() -> None:
+    specs = [benchmark_by_name(n) for n in ("gcc", "yacc", "espresso", "tex")]
+    measurement = SuiteMeasurement(specs=specs, total_instructions=400_000)
+    model = CpiModel(measurement)
+    base = SystemConfig(icache_kw=4, dcache_kw=8, block_words=4, penalty=10)
+
+    rows = []
+    for slots in (1, 2, 3):
+        static = dataclasses.replace(
+            base, branch_slots=slots, branch_scheme=BranchScheme.STATIC
+        )
+        btb = dataclasses.replace(
+            base, branch_slots=slots, branch_scheme=BranchScheme.BTB
+        )
+        expansion_cost = model.icache_cpi(static) - model.icache_cpi(
+            dataclasses.replace(static, branch_slots=0)
+        )
+        rows.append(
+            [
+                slots,
+                round(model.branch_cpi(static), 3),
+                round(expansion_cost, 3),
+                round(model.branch_cpi(static) + expansion_cost, 3),
+                round(model.branch_cpi(btb), 3),
+            ]
+        )
+    print(
+        render_table(
+            [
+                "delay slots",
+                "static squash CPI",
+                "static I-miss CPI",
+                "static total",
+                "BTB CPI",
+            ],
+            rows,
+            title="Branch-delay hiding at a 4 KW L1-I (p=10)",
+        )
+    )
+    stats = measurement.btb_stats
+    print(
+        f"\nBTB: hit rate {stats.hit_rate:.2f}, wrong rate "
+        f"{stats.wrong_rate:.2f} over {stats.ctis} CTIs"
+    )
+    print(
+        "The paper's conclusion: the software scheme matches or beats a "
+        "BTB small enough for single-cycle access, except at small caches "
+        "with large penalties where its code expansion bites."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Design-space exploration: the paper's Section 5 study in miniature.
+
+Sweeps pipeline depth and cache size at two refill penalties, prints the
+TPI surface, and reports how the optimum moves — the paper's core result
+(deeper cache pipelines enable bigger caches *and* faster clocks, until
+delay-slot CPI eats the gains).
+
+Run:  python examples/design_space_exploration.py [--full-suite]
+"""
+
+import argparse
+import dataclasses
+
+from repro.core import DesignOptimizer, SuiteMeasurement, SystemConfig
+from repro.core.config import LoadScheme
+from repro.utils.tables import render_series
+from repro.workload import TABLE1_SUITE, benchmark_by_name
+
+SIZES_KW = (1, 2, 4, 8, 16, 32)
+
+
+def explore(optimizer: DesignOptimizer, penalty: int) -> None:
+    base = SystemConfig(penalty=penalty, block_words=4)
+    series = {}
+    for slots in (0, 1, 2, 3):
+        values = []
+        for size in SIZES_KW:
+            config = dataclasses.replace(
+                base, branch_slots=slots, load_slots=slots, icache_kw=size, dcache_kw=size
+            )
+            values.append(optimizer.evaluate(config).tpi_ns)
+        series[f"b=l={slots}"] = values
+    print(
+        render_series(
+            "combined KW",
+            [2 * s for s in SIZES_KW],
+            series,
+            title=f"TPI (ns) at p={penalty} cycles",
+            precision=2,
+        )
+    )
+    best = optimizer.optimize_symmetric(base)
+    dynamic = optimizer.optimize_symmetric(
+        dataclasses.replace(base, load_scheme=LoadScheme.DYNAMIC)
+    )
+    print(
+        f"optimum: b=l={best.config.branch_slots} at "
+        f"{best.config.combined_l1_kw:g} KW -> {best.tpi_ns:.2f} ns "
+        f"(dynamic loads would reach {dynamic.tpi_ns:.2f} ns)\n"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full-suite",
+        action="store_true",
+        help="measure all 16 Table 1 benchmarks (slower, closer to the paper)",
+    )
+    args = parser.parse_args()
+
+    if args.full_suite:
+        measurement = SuiteMeasurement(total_instructions=1_600_000)
+    else:
+        specs = [
+            benchmark_by_name(name) for name in ("gcc", "espresso", "loops", "tex")
+        ]
+        measurement = SuiteMeasurement(specs=specs, total_instructions=400_000)
+    optimizer = DesignOptimizer(measurement)
+
+    for penalty in (6, 10, 18):
+        explore(optimizer, penalty)
+
+    print(
+        "Note how the optimal cache grows and pipelining pays off more as "
+        "the refill penalty rises — the paper's Figure 12/13 conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

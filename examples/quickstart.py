@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: evaluate one pipelined-cache design point end to end.
+
+Builds a small measurement session over a few Table 1 benchmarks, then
+asks the two questions the paper's methodology always asks about a design:
+
+1. what CPI does this organization achieve on the traced workload?
+2. what cycle time does the timing analyzer allow it?
+
+and combines them into TPI (time per instruction, eq. 1).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    CpiModel,
+    DesignOptimizer,
+    SuiteMeasurement,
+    SystemConfig,
+    system_cycle_time_ns,
+)
+from repro.workload import benchmark_by_name
+
+
+def main() -> None:
+    # A reduced session keeps this example under half a minute; drop the
+    # `specs` argument to measure the full 16-benchmark suite.
+    specs = [benchmark_by_name(name) for name in ("gcc", "yacc", "matrix500")]
+    measurement = SuiteMeasurement(specs=specs, total_instructions=300_000)
+    model = CpiModel(measurement)
+
+    # The design point: split 8 KW + 8 KW L1, two-stage pipelined cache
+    # access on both sides (b = l = 2), 4-word blocks, 10-cycle refill.
+    config = SystemConfig(
+        icache_kw=8,
+        dcache_kw=8,
+        block_words=4,
+        branch_slots=2,
+        load_slots=2,
+        penalty=10,
+    )
+
+    breakdown = model.breakdown(config)
+    cycle_ns = system_cycle_time_ns(config)
+    print("CPI breakdown")
+    print(f"  base          : {breakdown.base:.3f}")
+    print(f"  L1-I misses   : {breakdown.icache:.3f}")
+    print(f"  L1-D misses   : {breakdown.dcache:.3f}")
+    print(f"  branch delays : {breakdown.branch:.3f}")
+    print(f"  load delays   : {breakdown.load:.3f}")
+    print(f"  total         : {breakdown.total:.3f}")
+    print(f"t_CPU  : {cycle_ns:.2f} ns (max of I/D cache loops, >= 3.5 ns ALU floor)")
+    print(f"TPI    : {breakdown.total * cycle_ns:.2f} ns per instruction")
+
+    # And the question the paper exists to answer: is this the best point?
+    optimizer = DesignOptimizer(measurement)
+    best = optimizer.optimize_symmetric(config)
+    print(
+        f"\nBest symmetric design: b=l={best.config.branch_slots}, "
+        f"{best.config.combined_l1_kw:g} KW combined L1 "
+        f"-> TPI {best.tpi_ns:.2f} ns"
+    )
+
+    # A designer-facing brief for the winning point.
+    from repro.core import design_point_report
+
+    print("\n" + design_point_report(best, model))
+
+
+if __name__ == "__main__":
+    main()

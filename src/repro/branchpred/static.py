@@ -1,0 +1,22 @@
+"""The static prediction rule of Section 3.1, step 3.
+
+Kept as its own tiny module so the rule is stated exactly once and both
+the delay-slot scheduler and any analysis code share it.
+"""
+
+from __future__ import annotations
+
+__all__ = ["static_prediction_is_taken"]
+
+
+def static_prediction_is_taken(is_conditional: bool, is_backward: bool) -> bool:
+    """Backward branches and unconditional CTIs are predicted taken.
+
+    >>> static_prediction_is_taken(is_conditional=True, is_backward=True)
+    True
+    >>> static_prediction_is_taken(is_conditional=True, is_backward=False)
+    False
+    >>> static_prediction_is_taken(is_conditional=False, is_backward=False)
+    True
+    """
+    return (not is_conditional) or is_backward

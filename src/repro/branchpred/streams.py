@@ -1,0 +1,58 @@
+"""Extracting the dynamic CTI stream a BTB sees from an execution trace.
+
+The BTB experiments run on canonical (zero-delay-slot) code: the paper
+builds a zero-delay translation for them, which for our noop-free canonical
+programs is the identity layout.  Each executed CTI contributes its
+instruction address, its outcome, and (when taken) its actual target — the
+address of the next executed block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.compiled import BlockKind
+from repro.trace.executor import ExecutionTrace
+
+__all__ = ["CtiStream", "cti_stream"]
+
+
+@dataclass
+class CtiStream:
+    """Parallel arrays describing every executed CTI, in order."""
+
+    pcs: np.ndarray  # byte address of the CTI instruction
+    taken: np.ndarray  # bool: control left via the taken edge
+    targets: np.ndarray  # byte address of the actual destination block
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    def with_offset(self, offset: int) -> "CtiStream":
+        """Shift all addresses into a distinct address space."""
+        return CtiStream(self.pcs + offset, self.taken, self.targets + offset)
+
+
+def cti_stream(trace: ExecutionTrace) -> CtiStream:
+    """Extract the CTI stream of a trace on the canonical layout.
+
+    The final executed block is dropped if it ends in a CTI, because its
+    destination was never recorded.
+    """
+    compiled = trace.compiled
+    ids = trace.block_ids
+    if len(ids) < 2:
+        empty = np.empty(0, dtype=np.int64)
+        return CtiStream(empty, np.empty(0, dtype=bool), empty)
+    current = ids[:-1]
+    following = ids[1:]
+    is_cti = compiled.kinds[current] != BlockKind.FALLTHROUGH
+    addresses = compiled.canonical_addresses
+    pcs = addresses[current] + 4 * (compiled.lengths[current].astype(np.int64) - 1)
+    taken = trace.went_taken[:-1] == 1
+    targets = addresses[following]
+    return CtiStream(
+        pcs=pcs[is_cti], taken=taken[is_cti], targets=targets[is_cti]
+    )

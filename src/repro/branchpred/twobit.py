@@ -1,0 +1,49 @@
+"""The 2-bit saturating counter of Lee & Smith [LS84]."""
+
+from __future__ import annotations
+
+__all__ = ["TwoBitCounter"]
+
+#: Counter states: 0, 1 predict not-taken; 2, 3 predict taken.
+_MIN, _MAX, _THRESHOLD = 0, 3, 2
+
+
+class TwoBitCounter:
+    """A saturating 2-bit prediction counter.
+
+    The counter moves one step toward the observed outcome on every update
+    and predicts taken when in the upper half of its range.  The
+    hysteresis (two wrong outcomes needed to flip a strong state) is what
+    makes it robust to loop-exit glitches.
+
+    >>> c = TwoBitCounter(initial=3)
+    >>> c.predict_taken
+    True
+    >>> c.update(False); c.predict_taken   # one not-taken: still predicts taken
+    True
+    >>> c.update(False); c.predict_taken   # second not-taken flips it
+    False
+    """
+
+    __slots__ = ("state",)
+
+    def __init__(self, initial: int = 1) -> None:
+        if not _MIN <= initial <= _MAX:
+            raise ValueError(f"counter state must be in [{_MIN}, {_MAX}]")
+        self.state = initial
+
+    @property
+    def predict_taken(self) -> bool:
+        return self.state >= _THRESHOLD
+
+    def update(self, taken: bool) -> None:
+        if taken:
+            if self.state < _MAX:
+                self.state += 1
+        elif self.state > _MIN:
+            self.state -= 1
+
+    @classmethod
+    def biased(cls, taken: bool) -> "TwoBitCounter":
+        """Counter initialized weakly toward an observed first outcome."""
+        return cls(2 if taken else 1)

@@ -1,0 +1,48 @@
+"""Cache simulation: the reproduction's ``cacheSIM``.
+
+Two complementary simulators:
+
+* :class:`~repro.cache.cache.Cache` — a general set-associative cache with
+  pluggable replacement, used by the API, the examples, and as the oracle
+  for the fast path's correctness tests;
+* :mod:`~repro.cache.fastsim` — an exact, vectorized miss counter for
+  direct-mapped caches (the organization the paper's L1 uses throughout),
+  fast enough to sweep full multiprogrammed traces over every cache size
+  in pure Python.
+
+:mod:`~repro.cache.refill` models the paper's miss penalties (a 2-cycle
+startup plus the block transfer at the memory system's refill rate), and
+:class:`~repro.cache.hierarchy.CacheHierarchy` composes a split L1 over a
+constant-latency backing store.
+"""
+
+from repro.cache.stats import CacheStats
+from repro.cache.replacement import LRU, FIFO, RandomReplacement, ReplacementPolicy
+from repro.cache.cache import Cache
+from repro.cache.refill import RefillModel, PAPER_PENALTIES
+from repro.cache.fastsim import (
+    direct_mapped_miss_mask,
+    direct_mapped_misses,
+    direct_mapped_miss_sweep,
+    addresses_to_blocks,
+)
+from repro.cache.assoc_sim import associative_miss_sweep, set_associative_misses
+from repro.cache.hierarchy import CacheHierarchy
+
+__all__ = [
+    "CacheStats",
+    "ReplacementPolicy",
+    "LRU",
+    "FIFO",
+    "RandomReplacement",
+    "Cache",
+    "RefillModel",
+    "PAPER_PENALTIES",
+    "direct_mapped_miss_mask",
+    "direct_mapped_misses",
+    "direct_mapped_miss_sweep",
+    "addresses_to_blocks",
+    "set_associative_misses",
+    "associative_miss_sweep",
+    "CacheHierarchy",
+]

@@ -1,0 +1,127 @@
+"""The general set-associative cache model.
+
+Geometry follows the paper's conventions: sizes in words (1 KW = 4 KB),
+block (line) sizes in words.  The cache is physically indexed and tagged,
+write-allocate, and counts every demand miss identically (the refill cost
+model lives in :mod:`repro.cache.refill`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.cache.replacement import LRU, ReplacementPolicy
+from repro.cache.stats import CacheStats
+from repro.errors import ConfigurationError
+from repro.utils.units import WORD_BYTES, is_power_of_two, log2_int
+
+__all__ = ["Cache"]
+
+
+class Cache:
+    """A set-associative cache.
+
+    Args:
+        size_words: Total capacity in words (power of two).
+        block_words: Line size in words (power of two, <= size).
+        associativity: Ways per set; 1 gives the paper's direct-mapped L1.
+        replacement: Victim policy (defaults to LRU; irrelevant for
+            direct-mapped caches).
+        write_allocate: When False, write misses update memory without
+            filling a line (write-around); the paper's caches allocate on
+            writes, but the variant is useful for write-traffic studies.
+        name: Label used in reports.
+    """
+
+    def __init__(
+        self,
+        size_words: int,
+        block_words: int,
+        associativity: int = 1,
+        replacement: Optional[ReplacementPolicy] = None,
+        write_allocate: bool = True,
+        name: str = "cache",
+    ) -> None:
+        if not is_power_of_two(size_words):
+            raise ConfigurationError(f"cache size must be a power of two: {size_words}")
+        if not is_power_of_two(block_words):
+            raise ConfigurationError(f"block size must be a power of two: {block_words}")
+        if block_words > size_words:
+            raise ConfigurationError("block size cannot exceed cache size")
+        if associativity < 1 or size_words % (block_words * associativity) != 0:
+            raise ConfigurationError(
+                f"invalid associativity {associativity} for "
+                f"{size_words}W cache with {block_words}W blocks"
+            )
+        self.name = name
+        self.write_allocate = write_allocate
+        self.size_words = size_words
+        self.block_words = block_words
+        self.associativity = associativity
+        self.num_sets = size_words // (block_words * associativity)
+        self._block_shift = log2_int(block_words * WORD_BYTES)
+        self._set_mask = self.num_sets - 1
+        self.stats = CacheStats()
+        self.replacement = replacement if replacement is not None else LRU()
+        self.replacement.attach(self.num_sets, associativity)
+        # tags[set][way]; None marks an invalid way.
+        self._tags = [[None] * associativity for _ in range(self.num_sets)]
+
+    @property
+    def size_kw(self) -> float:
+        return self.size_words / 1024.0
+
+    def _locate(self, address: int):
+        block = address >> self._block_shift
+        set_index = block & self._set_mask
+        tag = block >> (self.num_sets.bit_length() - 1)
+        return set_index, tag
+
+    def probe(self, address: int) -> bool:
+        """Check residency without updating state or statistics."""
+        set_index, tag = self._locate(address)
+        return tag in self._tags[set_index]
+
+    def access(self, address: int, write: bool = False) -> bool:
+        """Simulate one access; returns True on hit.
+
+        With the default write-allocate policy, write misses fill a line
+        exactly like read misses; with ``write_allocate=False`` a write
+        miss bypasses the cache (write-around) and leaves its contents
+        untouched.
+        """
+        set_index, tag = self._locate(address)
+        ways = self._tags[set_index]
+        try:
+            way = ways.index(tag)
+            hit = True
+        except ValueError:
+            hit = False
+            if write and not self.write_allocate:
+                self.stats.record(hit)
+                return hit
+            try:
+                way = ways.index(None)  # fill an invalid way first
+            except ValueError:
+                way = self.replacement.victim(set_index)
+            ways[way] = tag
+        self.replacement.on_access(set_index, way)
+        self.stats.record(hit)
+        return hit
+
+    def access_many(self, addresses: Iterable[int], write: bool = False) -> CacheStats:
+        """Simulate a sequence of accesses; returns the cumulative stats."""
+        for address in addresses:
+            self.access(int(address), write=write)
+        return self.stats
+
+    def flush(self) -> None:
+        """Invalidate all lines (statistics are preserved)."""
+        self._tags = [[None] * self.associativity for _ in range(self.num_sets)]
+        self.replacement.attach(self.num_sets, self.associativity)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cache({self.name}: {self.size_kw:g} KW, {self.block_words}W "
+            f"blocks, {self.associativity}-way)"
+        )

@@ -1,0 +1,77 @@
+"""Two-level cache hierarchy with a split L1.
+
+The paper's processor (Figure 1) has split primary caches — L1-I and
+L1-D, each accessed every cycle — backed by a large L2 modelled as a
+constant-time backing store ("given a constant time L1 miss penalty").
+:class:`CacheHierarchy` composes the pieces and converts miss counts into
+stall cycles, which is all the CPI model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cache.cache import Cache
+from repro.cache.refill import RefillModel
+from repro.errors import ConfigurationError
+
+__all__ = ["CacheHierarchy"]
+
+
+@dataclass
+class CacheHierarchy:
+    """A split-L1 hierarchy over a constant-latency backing store.
+
+    Args:
+        icache: The L1-I cache.
+        dcache: The L1-D cache.
+        refill: Refill timing shared by both sides (the paper refills both
+            from the same L2/MCM path).
+    """
+
+    icache: Cache
+    dcache: Cache
+    refill: RefillModel = field(default_factory=RefillModel)
+
+    def __post_init__(self) -> None:
+        if self.icache is self.dcache:
+            raise ConfigurationError("split L1 requires distinct I and D caches")
+
+    def fetch(self, address: int) -> int:
+        """Instruction fetch; returns stall cycles (0 on hit)."""
+        if self.icache.access(address):
+            return 0
+        return self.refill.penalty_cycles(self.icache.block_words)
+
+    def load(self, address: int) -> int:
+        """Data read; returns stall cycles."""
+        if self.dcache.access(address):
+            return 0
+        return self.refill.penalty_cycles(self.dcache.block_words)
+
+    def store(self, address: int) -> int:
+        """Data write (write-allocate); returns stall cycles."""
+        if self.dcache.access(address, write=True):
+            return 0
+        return self.refill.penalty_cycles(self.dcache.block_words)
+
+    @property
+    def miss_penalty_i(self) -> int:
+        return self.refill.penalty_cycles(self.icache.block_words)
+
+    @property
+    def miss_penalty_d(self) -> int:
+        return self.refill.penalty_cycles(self.dcache.block_words)
+
+    def stall_cycles(self) -> int:
+        """Total stall cycles implied by the accumulated miss counts."""
+        return (
+            self.icache.stats.misses * self.miss_penalty_i
+            + self.dcache.stats.misses * self.miss_penalty_d
+        )
+
+    def flush(self) -> None:
+        """Invalidate both caches (e.g. at a simulated context switch)."""
+        self.icache.flush()
+        self.dcache.flush()

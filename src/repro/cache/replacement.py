@@ -1,0 +1,80 @@
+"""Replacement policies for the general set-associative cache."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+__all__ = ["ReplacementPolicy", "LRU", "FIFO", "RandomReplacement"]
+
+
+class ReplacementPolicy(ABC):
+    """Chooses a victim way within one set.
+
+    A policy instance is created per cache and told the geometry once via
+    :meth:`attach`; it then tracks whatever per-set state it needs.
+    """
+
+    def attach(self, num_sets: int, associativity: int) -> None:
+        self.num_sets = num_sets
+        self.associativity = associativity
+
+    @abstractmethod
+    def on_access(self, set_index: int, way: int) -> None:
+        """Called on every hit (and on the fill completing a miss)."""
+
+    @abstractmethod
+    def victim(self, set_index: int) -> int:
+        """Way to evict when the set is full."""
+
+
+class LRU(ReplacementPolicy):
+    """Least-recently-used — the classic cache-study default."""
+
+    def attach(self, num_sets: int, associativity: int) -> None:
+        super().attach(num_sets, associativity)
+        # recency[s] lists ways from least- to most-recently used.
+        self._recency: List[List[int]] = [
+            list(range(associativity)) for _ in range(num_sets)
+        ]
+
+    def on_access(self, set_index: int, way: int) -> None:
+        order = self._recency[set_index]
+        order.remove(way)
+        order.append(way)
+
+    def victim(self, set_index: int) -> int:
+        return self._recency[set_index][0]
+
+
+class FIFO(ReplacementPolicy):
+    """First-in-first-out: eviction order ignores hits."""
+
+    def attach(self, num_sets: int, associativity: int) -> None:
+        super().attach(num_sets, associativity)
+        self._next: List[int] = [0] * num_sets
+
+    def on_access(self, set_index: int, way: int) -> None:
+        pass  # hits do not affect FIFO order
+
+    def victim(self, set_index: int) -> int:
+        way = self._next[set_index]
+        self._next[set_index] = (way + 1) % self.associativity
+        return way
+
+
+class RandomReplacement(ReplacementPolicy):
+    """Uniform random victim; cheap in hardware, noisy in software."""
+
+    def __init__(self, seed: Optional[int] = 1234) -> None:
+        self._rng = make_rng(seed)
+
+    def on_access(self, set_index: int, way: int) -> None:
+        pass
+
+    def victim(self, set_index: int) -> int:
+        return int(self._rng.integers(0, self.associativity))

@@ -1,0 +1,44 @@
+"""Cache access statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated by a cache simulation.
+
+    ``misses`` counts demand misses (reads and writes alike: the paper's
+    caches are write-allocate and every miss pays the same refill).
+    """
+
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access (the paper's ``m_L1``); 0 for an idle cache."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return 1.0 - self.miss_rate if self.accesses else 0.0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Combine two disjoint simulations' counters."""
+        return CacheStats(
+            accesses=self.accesses + other.accesses,
+            misses=self.misses + other.misses,
+        )
+
+    def record(self, hit: bool) -> None:
+        self.accesses += 1
+        if not hit:
+            self.misses += 1

@@ -1,0 +1,345 @@
+"""One multiprogrammed measurement session over the benchmark suite.
+
+Everything the experiments consume — reference streams, miss counts,
+prediction statistics, slack histograms — is derived from a single
+:class:`SuiteMeasurement`, which synthesizes the Table 1 programs, traces
+them (lengths proportional to each benchmark's published instruction
+count, so suite aggregates carry the paper's execution-time weighting),
+and interleaves the per-benchmark streams with a context-switch quantum in
+distinct address spaces.
+
+The object memoizes aggressively: a full experiment run touches the same
+streams dozens of times.  Traces are additionally cached on disk (see
+:mod:`repro.trace.io`) because synthesizing and walking 16 programs is
+the most expensive step of a session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.branchpred import BranchTargetBuffer, BTBStats, cti_stream
+from repro.errors import ConfigurationError
+from repro.sched import (
+    BranchDelayStats,
+    LoadSlackAnalysis,
+    TranslationFile,
+    analyze_load_slack,
+    branch_delay_stats,
+    expand_istream,
+)
+from repro.cache.fastsim import addresses_to_blocks, direct_mapped_misses
+from repro.trace import execute_program
+from repro.trace.executor import ExecutionTrace
+from repro.trace.compiled import CompiledProgram
+from repro.trace.io import cache_key, load_arrays, save_arrays
+from repro.trace.multiprogram import (
+    address_space_offset,
+    interleave_chunks,
+    multiprogram_quanta,
+)
+from repro.utils.rng import DEFAULT_SEED
+from repro.utils.units import WORD_BYTES, kw_to_words, log2_int
+from repro.workload import (
+    BenchmarkSpec,
+    DataReferenceModel,
+    TABLE1_SUITE,
+    synthesize_program,
+)
+
+__all__ = ["SuiteMeasurement"]
+
+#: Bump to invalidate cached traces when the generator changes behaviour.
+GENERATOR_VERSION = 5
+
+
+@dataclass
+class _Benchmark:
+    """Per-benchmark artifacts of a session."""
+
+    index: int
+    spec: BenchmarkSpec
+    compiled: CompiledProgram
+    trace: ExecutionTrace
+    translations: Dict[int, TranslationFile]
+
+    def translation(self, slots: int) -> TranslationFile:
+        if slots not in self.translations:
+            self.translations[slots] = TranslationFile(self.compiled, slots)
+        return self.translations[slots]
+
+
+class SuiteMeasurement:
+    """Measured inputs for the CPI model over one benchmark suite.
+
+    Args:
+        specs: Benchmarks (defaults to the full Table 1 suite).
+        total_instructions: Combined canonical trace length; split across
+            benchmarks proportionally to their published instruction
+            counts (the paper's execution-time weights).
+        seed: Base seed for synthesis, control flow, and data streams.
+        quantum_instructions: Approximate context-switch quantum.  Each
+            benchmark is cut into ``switches`` equal chunks with
+            ``switches`` chosen so an average-weight benchmark's chunk is
+            about this many instructions — a few milliseconds of early-90s
+            CPU time, matching multiprogrammed-trace methodology.
+        min_benchmark_instructions: Floor per benchmark, so tiny
+            benchmarks (linpack: 4 M of 2556 M) still contribute
+            statistically meaningful traces.
+        use_disk_cache: Cache traces under the repro trace cache dir.
+    """
+
+    def __init__(
+        self,
+        specs: Optional[Sequence[BenchmarkSpec]] = None,
+        total_instructions: int = 1_600_000,
+        seed: int = DEFAULT_SEED,
+        quantum_instructions: int = 25_000,
+        min_benchmark_instructions: int = 20_000,
+        use_disk_cache: bool = True,
+    ) -> None:
+        if total_instructions <= 0:
+            raise ConfigurationError("total_instructions must be positive")
+        if quantum_instructions <= 0:
+            raise ConfigurationError("quantum_instructions must be positive")
+        self.specs: List[BenchmarkSpec] = list(specs) if specs is not None else list(TABLE1_SUITE)
+        if not self.specs:
+            raise ConfigurationError("need at least one benchmark")
+        self.seed = seed
+        self.total_instructions = total_instructions
+        mean_budget = total_instructions / len(self.specs)
+        self.switches = max(1, round(mean_budget / quantum_instructions))
+        self._use_disk_cache = use_disk_cache
+
+        total_weight = sum(spec.weight for spec in self.specs)
+        self._budgets = [
+            max(
+                min_benchmark_instructions,
+                int(total_instructions * spec.weight / total_weight),
+            )
+            for spec in self.specs
+        ]
+        self._benchmarks: Optional[List[_Benchmark]] = None
+        self._istream_cache: Dict[Tuple[int, int], np.ndarray] = {}
+        self._dstream_cache: Dict[int, np.ndarray] = {}
+        self._imiss_cache: Dict[Tuple[int, int, int], int] = {}
+        self._dmiss_cache: Dict[Tuple[int, int], int] = {}
+        self._branch_stats_cache: Dict[int, BranchDelayStats] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def _load_or_run_trace(self, spec: BenchmarkSpec, budget: int) -> ExecutionTrace:
+        compiled = CompiledProgram(synthesize_program(spec, seed=self.seed))
+        key = cache_key(
+            kind="trace",
+            version=GENERATOR_VERSION,
+            bench=spec.name,
+            budget=budget,
+            seed=self.seed,
+        )
+        if self._use_disk_cache:
+            cached = load_arrays(key)
+            if cached is not None and len(cached.get("block_ids", ())) > 0:
+                return ExecutionTrace(
+                    compiled=compiled,
+                    block_ids=cached["block_ids"].astype(np.int32),
+                    went_taken=cached["went_taken"].astype(np.int8),
+                    restarts=int(cached["restarts"][0]),
+                )
+        trace = execute_program(compiled.program, budget, seed=self.seed)
+        if self._use_disk_cache:
+            save_arrays(
+                key,
+                {
+                    "block_ids": trace.block_ids,
+                    "went_taken": trace.went_taken,
+                    "restarts": np.array([trace.restarts]),
+                },
+            )
+        return trace
+
+    @property
+    def benchmarks(self) -> List[_Benchmark]:
+        """Per-benchmark artifacts, built lazily on first use."""
+        if self._benchmarks is None:
+            built = []
+            for index, (spec, budget) in enumerate(zip(self.specs, self._budgets)):
+                trace = self._load_or_run_trace(spec, budget)
+                built.append(
+                    _Benchmark(
+                        index=index,
+                        spec=spec,
+                        compiled=trace.compiled,
+                        trace=trace,
+                        translations={},
+                    )
+                )
+            self._benchmarks = built
+        return self._benchmarks
+
+    # -- suite aggregates ------------------------------------------------------
+
+    @cached_property
+    def canonical_instructions(self) -> int:
+        """Total canonical instruction count (the CPI denominator)."""
+        return sum(b.trace.instruction_count for b in self.benchmarks)
+
+    @cached_property
+    def cti_fraction(self) -> float:
+        """Dynamic CTI fraction of the suite (the paper's 13 %)."""
+        ctis = sum(b.trace.category_counts["ctis"] for b in self.benchmarks)
+        return ctis / self.canonical_instructions
+
+    @cached_property
+    def data_reference_count(self) -> int:
+        """Loads + stores over the suite."""
+        return sum(
+            b.trace.category_counts["loads"] + b.trace.category_counts["stores"]
+            for b in self.benchmarks
+        )
+
+    @cached_property
+    def load_fraction(self) -> float:
+        loads = sum(b.trace.category_counts["loads"] for b in self.benchmarks)
+        return loads / self.canonical_instructions
+
+    def code_expansion_pct(self, slots: int) -> float:
+        """Suite-average static code growth for ``slots`` (Table 2)."""
+        base = sum(b.compiled.static_words for b in self.benchmarks)
+        grown = sum(b.translation(slots).code_words for b in self.benchmarks)
+        return 100.0 * (grown - base) / base
+
+    def branch_stats(self, slots: int) -> BranchDelayStats:
+        """Aggregated static-scheme branch statistics (Table 3)."""
+        if slots not in self._branch_stats_cache:
+            parts = [
+                branch_delay_stats(b.trace, b.translation(slots))
+                for b in self.benchmarks
+            ]
+            self._branch_stats_cache[slots] = BranchDelayStats(
+                slots=slots,
+                cti_count=sum(p.cti_count for p in parts),
+                wasted_cycles=sum(p.wasted_cycles for p in parts),
+                instruction_count=sum(p.instruction_count for p in parts),
+                predicted_taken_count=sum(p.predicted_taken_count for p in parts),
+                predicted_taken_correct=sum(p.predicted_taken_correct for p in parts),
+                predicted_not_taken_count=sum(p.predicted_not_taken_count for p in parts),
+                predicted_not_taken_correct=sum(
+                    p.predicted_not_taken_correct for p in parts
+                ),
+            )
+        return self._branch_stats_cache[slots]
+
+    @cached_property
+    def btb_stats(self) -> BTBStats:
+        """BTB outcome over the multiprogrammed CTI stream (Table 4)."""
+        streams = [cti_stream(b.trace) for b in self.benchmarks]
+        offset_streams = [
+            stream.with_offset(address_space_offset(i))
+            for i, stream in enumerate(streams)
+        ]
+        quanta = multiprogram_quanta([len(s) for s in offset_streams], self.switches)
+        pcs = interleave_chunks([s.pcs for s in offset_streams], quanta)
+        taken = interleave_chunks(
+            [s.taken.astype(np.int8) for s in offset_streams], quanta
+        )
+        targets = interleave_chunks([s.targets for s in offset_streams], quanta)
+        return BranchTargetBuffer().simulate(pcs, taken.astype(bool), targets)
+
+    @cached_property
+    def load_slack(self) -> LoadSlackAnalysis:
+        """Suite-aggregated epsilon analysis (Figures 6/7, Table 5)."""
+        dynamic: Dict[int, int] = {}
+        static: Dict[int, int] = {}
+        loads = 0
+        for bench in self.benchmarks:
+            analysis = analyze_load_slack(bench.compiled, bench.trace.block_counts)
+            for eps, count in analysis.dynamic_histogram.items():
+                dynamic[eps] = dynamic.get(eps, 0) + count
+            for eps, count in analysis.static_histogram.items():
+                static[eps] = static.get(eps, 0) + count
+            loads += bench.trace.category_counts["loads"]
+        return LoadSlackAnalysis(
+            dynamic_histogram=dynamic,
+            static_histogram=static,
+            loads_per_instruction=loads / self.canonical_instructions,
+        )
+
+    # -- reference streams -----------------------------------------------------
+
+    def istream_blocks(self, slots: int, block_words: int) -> np.ndarray:
+        """Multiprogrammed instruction stream at cache-block granularity."""
+        key = (slots, block_words)
+        if key not in self._istream_cache:
+            shift = log2_int(block_words * WORD_BYTES)
+            sequences = []
+            for bench in self.benchmarks:
+                stream = expand_istream(bench.trace, bench.translation(slots))
+                blocks = stream.cache_block_sequence(block_words * WORD_BYTES)
+                blocks = blocks + (address_space_offset(bench.index) >> shift)
+                sequences.append(blocks)
+            quanta = multiprogram_quanta([len(s) for s in sequences], self.switches)
+            self._istream_cache[key] = interleave_chunks(sequences, quanta)
+        return self._istream_cache[key]
+
+    def dstream_blocks(self, block_words: int) -> np.ndarray:
+        """Multiprogrammed data stream at cache-block granularity."""
+        if block_words not in self._dstream_cache:
+            shift = log2_int(block_words * WORD_BYTES)
+            sequences = []
+            for bench in self.benchmarks:
+                refs = (
+                    bench.trace.category_counts["loads"]
+                    + bench.trace.category_counts["stores"]
+                )
+                model = DataReferenceModel(bench.spec, seed=self.seed)
+                addresses = model.generate(refs) + address_space_offset(bench.index)
+                sequences.append(addresses_to_blocks(addresses, block_words))
+            quanta = multiprogram_quanta([len(s) for s in sequences], self.switches)
+            self._dstream_cache[block_words] = interleave_chunks(sequences, quanta)
+        return self._dstream_cache[block_words]
+
+    # -- miss counts -------------------------------------------------------------
+
+    def icache_misses(self, slots: int, block_words: int, size_kw: float) -> int:
+        """L1-I misses for one configuration over the whole session."""
+        sets = kw_to_words(size_kw) // block_words
+        key = (slots, block_words, sets)
+        if key not in self._imiss_cache:
+            blocks = self.istream_blocks(slots, block_words)
+            self._imiss_cache[key] = direct_mapped_misses(blocks, sets)
+        return self._imiss_cache[key]
+
+    def dcache_misses(self, block_words: int, size_kw: float) -> int:
+        """L1-D misses for one configuration over the whole session."""
+        sets = kw_to_words(size_kw) // block_words
+        key = (block_words, sets)
+        if key not in self._dmiss_cache:
+            blocks = self.dstream_blocks(block_words)
+            self._dmiss_cache[key] = direct_mapped_misses(blocks, sets)
+        return self._dmiss_cache[key]
+
+    # -- reporting ---------------------------------------------------------------
+
+    def benchmark_rows(self) -> List[Dict[str, object]]:
+        """Per-benchmark measured characteristics (regenerates Table 1)."""
+        rows = []
+        for bench in self.benchmarks:
+            mix = bench.trace.mix_percentages()
+            rows.append(
+                {
+                    "name": bench.spec.name,
+                    "description": bench.spec.description,
+                    "category": bench.spec.category.value,
+                    "instructions": bench.trace.instruction_count,
+                    "load_pct": mix["load_pct"],
+                    "store_pct": mix["store_pct"],
+                    "branch_pct": mix["branch_pct"],
+                    "syscalls": bench.trace.category_counts["syscalls"],
+                }
+            )
+        return rows

@@ -1,0 +1,113 @@
+"""Design-space sweep and multilevel optimization (Section 5).
+
+:class:`DesignOptimizer` evaluates TPI over a grid of design points —
+delay-slot counts, cache sizes (symmetric or asymmetric splits), penalty,
+and schemes — and returns the optimum, reproducing the search behind
+Figures 12 and 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import BranchScheme, LoadScheme, SystemConfig
+from repro.core.cpi_model import CpiModel
+from repro.core.measurement import SuiteMeasurement
+from repro.core.tcpu import system_cycle_time_ns
+from repro.core.tpi import tpi_ns
+from repro.errors import ConfigurationError
+from repro.timing.technology import DEFAULT_TECHNOLOGY, Technology
+
+__all__ = ["DesignPoint", "DesignOptimizer"]
+
+#: Per-side cache sizes the paper sweeps (KW).
+PAPER_SIDE_SIZES_KW = (1, 2, 4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration."""
+
+    config: SystemConfig
+    cpi: float
+    cycle_time_ns: float
+
+    @property
+    def tpi_ns(self) -> float:
+        return tpi_ns(self.cpi, self.cycle_time_ns)
+
+
+class DesignOptimizer:
+    """Evaluates and optimizes TPI over a design space."""
+
+    def __init__(
+        self,
+        measurement: SuiteMeasurement,
+        tech: Technology = DEFAULT_TECHNOLOGY,
+    ) -> None:
+        self.model = CpiModel(measurement)
+        self.tech = tech
+
+    def evaluate(self, config: SystemConfig) -> DesignPoint:
+        """TPI of a single design point (CPI x system cycle time)."""
+        cycle = system_cycle_time_ns(config, self.tech)
+        cpi = self.model.cpi(config, cycle_time_ns=cycle)
+        return DesignPoint(config=config, cpi=cpi, cycle_time_ns=cycle)
+
+    def sweep(self, configs: Iterable[SystemConfig]) -> List[DesignPoint]:
+        """Evaluate many configurations (in input order)."""
+        return [self.evaluate(config) for config in configs]
+
+    def symmetric_grid(
+        self,
+        base: SystemConfig,
+        slot_pairs: Sequence[Tuple[int, int]] = ((0, 0), (1, 1), (2, 2), (3, 3)),
+        side_sizes_kw: Sequence[float] = PAPER_SIDE_SIZES_KW,
+    ) -> List[SystemConfig]:
+        """The Figure 12/13 grid: equal split, (b, l) pairs x sizes."""
+        return [
+            replace(base, branch_slots=b, load_slots=l, icache_kw=size, dcache_kw=size)
+            for (b, l) in slot_pairs
+            for size in side_sizes_kw
+        ]
+
+    def asymmetric_grid(
+        self,
+        base: SystemConfig,
+        icache_sizes_kw: Sequence[float] = PAPER_SIDE_SIZES_KW,
+        dcache_sizes_kw: Sequence[float] = PAPER_SIDE_SIZES_KW,
+        branch_slots: Sequence[int] = (0, 1, 2, 3),
+        load_slots: Sequence[int] = (0, 1, 2, 3),
+    ) -> List[SystemConfig]:
+        """The full asymmetric space behind the paper's Fig 13 remark
+        (larger, deeper-pipelined L1-I beats the symmetric split at small
+        refill penalties)."""
+        return [
+            replace(
+                base,
+                branch_slots=b,
+                load_slots=l,
+                icache_kw=isize,
+                dcache_kw=dsize,
+            )
+            for b in branch_slots
+            for l in load_slots
+            for isize in icache_sizes_kw
+            for dsize in dcache_sizes_kw
+        ]
+
+    def best(self, configs: Iterable[SystemConfig]) -> DesignPoint:
+        """The minimum-TPI point of a set."""
+        points = self.sweep(configs)
+        if not points:
+            raise ConfigurationError("cannot optimize over an empty design space")
+        return min(points, key=lambda point: point.tpi_ns)
+
+    def optimize_symmetric(self, base: SystemConfig) -> DesignPoint:
+        """Optimum over the paper's symmetric (b = l focus) grid."""
+        return self.best(self.symmetric_grid(base))
+
+    def optimize_asymmetric(self, base: SystemConfig) -> DesignPoint:
+        """Optimum over the full asymmetric grid."""
+        return self.best(self.asymmetric_grid(base))

@@ -1,0 +1,87 @@
+"""Design-point reports: the human-readable face of the optimizer.
+
+Turns one or more evaluated :class:`~repro.core.optimizer.DesignPoint`
+objects into the kind of summary a designer would circulate: the CPI
+decomposition, which loop sets the cycle time, and the TPI deltas between
+candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.cpi_model import CpiModel
+from repro.core.optimizer import DesignPoint
+from repro.core.tcpu import side_cycle_times_ns
+from repro.errors import ConfigurationError
+from repro.timing.technology import DEFAULT_TECHNOLOGY, Technology
+from repro.utils.tables import render_table
+
+__all__ = ["design_point_report", "compare_design_points"]
+
+
+def design_point_report(
+    point: DesignPoint,
+    model: CpiModel,
+    tech: Technology = DEFAULT_TECHNOLOGY,
+) -> str:
+    """A one-design-point brief: configuration, CPI parts, timing."""
+    config = point.config
+    breakdown = model.breakdown(config, cycle_time_ns=point.cycle_time_ns)
+    icache_ns, dcache_ns = side_cycle_times_ns(config, tech)
+    if point.cycle_time_ns <= tech.alu_loop_ns + 5e-3:
+        critical = "ALU feedback loop"
+    elif icache_ns >= dcache_ns:
+        critical = "L1-I access loop"
+    else:
+        critical = "L1-D access loop"
+    lines = [
+        f"design: L1-I {config.icache_kw:g} KW (b={config.branch_slots}), "
+        f"L1-D {config.dcache_kw:g} KW (l={config.load_slots}), "
+        f"{config.block_words} W blocks, penalty {config.penalty:g} "
+        f"{config.penalty_mode.value}",
+        f"schemes: branch={config.branch_scheme.value}, "
+        f"load={config.load_scheme.value}",
+        render_table(
+            ["component", "CPI"],
+            [
+                ["base", breakdown.base],
+                ["L1-I misses", breakdown.icache],
+                ["L1-D misses", breakdown.dcache],
+                ["branch delays", breakdown.branch],
+                ["load delays", breakdown.load],
+                ["total", breakdown.total],
+            ],
+        ),
+        f"t_CPU: {point.cycle_time_ns:.2f} ns "
+        f"(I side {icache_ns:.2f}, D side {dcache_ns:.2f}; "
+        f"critical: {critical})",
+        f"TPI: {point.tpi_ns:.2f} ns per instruction",
+    ]
+    return "\n".join(lines)
+
+
+def compare_design_points(points: Sequence[DesignPoint]) -> str:
+    """Rank candidate designs by TPI, with deltas against the best."""
+    if not points:
+        raise ConfigurationError("nothing to compare")
+    ranked = sorted(points, key=lambda p: p.tpi_ns)
+    best = ranked[0].tpi_ns
+    rows = []
+    for point in ranked:
+        config = point.config
+        rows.append(
+            [
+                f"{config.icache_kw:g}I/{config.dcache_kw:g}D KW",
+                f"b={config.branch_slots} l={config.load_slots}",
+                round(point.cpi, 3),
+                round(point.cycle_time_ns, 2),
+                round(point.tpi_ns, 2),
+                f"{100.0 * (point.tpi_ns - best) / best:+.1f}%",
+            ]
+        )
+    return render_table(
+        ["L1 split", "slots", "CPI", "t_CPU (ns)", "TPI (ns)", "vs best"],
+        rows,
+        title="Design-point comparison (best first)",
+    )

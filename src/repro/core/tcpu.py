@@ -1,0 +1,33 @@
+"""System cycle time (Section 4 + Section 5's combination rule).
+
+Each L1 side runs a loop of depth (delay slots + 1); the *system* cycle
+time is the maximum of the two sides' minima — "we take the maximum
+t_CPU of each, as the new system cycle time".  Pipelining one side deeper
+than the other therefore buys nothing but CPI (the paper's argument for
+b = l at equal split).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SystemConfig
+from repro.timing.cycle_time import cycle_time_ns
+from repro.timing.technology import DEFAULT_TECHNOLOGY, Technology
+
+__all__ = ["system_cycle_time_ns", "side_cycle_times_ns"]
+
+
+def side_cycle_times_ns(
+    config: SystemConfig, tech: Technology = DEFAULT_TECHNOLOGY
+):
+    """(t_CPU set by the I side, t_CPU set by the D side)."""
+    icache = cycle_time_ns(config.icache_kw, config.branch_slots, tech)
+    dcache = cycle_time_ns(config.dcache_kw, config.load_slots, tech)
+    return icache, dcache
+
+
+def system_cycle_time_ns(
+    config: SystemConfig, tech: Technology = DEFAULT_TECHNOLOGY
+) -> float:
+    """The system clock period: max of the two sides' minima."""
+    icache, dcache = side_cycle_times_ns(config, tech)
+    return max(icache, dcache)

@@ -1,0 +1,82 @@
+"""Shared experiment infrastructure: sessions, result type, constants."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core import SuiteMeasurement
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ExperimentResult",
+    "get_measurement",
+    "EXPERIMENT_SCALES",
+    "PAPER_SIZES_KW",
+    "DEFAULT_BLOCK_WORDS",
+    "DEFAULT_PENALTY",
+]
+
+#: Per-side cache sizes the paper sweeps.
+PAPER_SIZES_KW = (1, 2, 4, 8, 16, 32)
+#: The block size most figures fix (``B_L1 = 4 W``).
+DEFAULT_BLOCK_WORDS = 4
+#: The headline refill penalty (``p_L1 = 10`` cycles).
+DEFAULT_PENALTY = 10
+
+#: Total canonical instructions per scale.  ``quick`` is for smoke runs
+#: and CI; ``full`` is the default experiment scale (about a minute of
+#: trace generation, cached on disk afterwards).
+EXPERIMENT_SCALES: Dict[str, int] = {
+    "quick": 400_000,
+    "full": 1_600_000,
+}
+
+_sessions: Dict[str, SuiteMeasurement] = {}
+
+
+def get_measurement(scale: Optional[str] = None) -> SuiteMeasurement:
+    """The shared measurement session for a scale (memoized per process).
+
+    The scale defaults to the ``REPRO_SCALE`` environment variable, then
+    to ``full``.
+    """
+    if scale is None:
+        scale = os.environ.get("REPRO_SCALE", "full")
+    if scale not in EXPERIMENT_SCALES:
+        raise ConfigurationError(
+            f"unknown scale {scale!r}; choose from {sorted(EXPERIMENT_SCALES)}"
+        )
+    if scale not in _sessions:
+        _sessions[scale] = SuiteMeasurement(
+            total_instructions=EXPERIMENT_SCALES[scale]
+        )
+    return _sessions[scale]
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure.
+
+    Attributes:
+        experiment_id: e.g. ``"table2"`` or ``"fig12"``.
+        title: Human-readable heading.
+        text: The rendered rows/series (what the CLI prints).
+        data: Raw values keyed by meaningful names, for tests and
+            benchmarks to assert against.
+        paper_notes: What the paper reports for the same artifact, for
+            side-by-side comparison in EXPERIMENTS.md.
+    """
+
+    experiment_id: str
+    title: str
+    text: str
+    data: Dict[str, object] = field(default_factory=dict)
+    paper_notes: str = ""
+
+    def __str__(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} ==", self.text]
+        if self.paper_notes:
+            lines.append(f"[paper] {self.paper_notes}")
+        return "\n".join(lines)

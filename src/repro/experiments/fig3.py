@@ -1,0 +1,62 @@
+"""Figure 3 — effect of delay-slot code expansion on L1-I cache CPI.
+
+Plots the instruction-cache stall component of CPI against L1-I size for
+0-3 branch delay slots (B = 4 W, p = 10 cycles).  The spread between the
+b-curves is the extra miss cost of the replicated/padded code.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import CpiModel, SuiteMeasurement, SystemConfig
+from repro.experiments.common import (
+    DEFAULT_BLOCK_WORDS,
+    DEFAULT_PENALTY,
+    ExperimentResult,
+    PAPER_SIZES_KW,
+    get_measurement,
+)
+from repro.utils.tables import render_series
+
+__all__ = ["run"]
+
+
+def run(measurement: Optional[SuiteMeasurement] = None) -> ExperimentResult:
+    measurement = measurement or get_measurement()
+    model = CpiModel(measurement)
+    series = {}
+    data = {}
+    for slots in (0, 1, 2, 3):
+        values = []
+        for size in PAPER_SIZES_KW:
+            config = SystemConfig(
+                icache_kw=size,
+                dcache_kw=8,
+                block_words=DEFAULT_BLOCK_WORDS,
+                branch_slots=slots,
+                penalty=DEFAULT_PENALTY,
+            )
+            values.append(model.icache_cpi(config))
+        series[f"b={slots}"] = values
+        data[slots] = dict(zip(PAPER_SIZES_KW, values))
+    text = render_series(
+        "L1-I size (KW)",
+        list(PAPER_SIZES_KW),
+        series,
+        title="Figure 3: L1-I miss CPI vs size and delay slots (B=4W, p=10)",
+    )
+    return ExperimentResult(
+        experiment_id="fig3",
+        title="I-cache CPI impact of delay-slot code expansion",
+        text=text,
+        data={"icache_cpi": data},
+        paper_notes=(
+            "Paper: at 1 KW the miss CPI grows ~0.03-0.06 per slot at "
+            "p=10-18; at 32 KW only 0.004-0.014 per slot."
+        ),
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run())

@@ -1,0 +1,173 @@
+"""CLI: regenerate any subset of the paper's tables and figures.
+
+Usage::
+
+    repro-experiments                     # everything, full scale
+    repro-experiments table2 fig12       # a subset
+    repro-experiments --scale quick      # smaller traces (smoke run)
+    repro-experiments --out results/     # also write one .txt per result
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import (
+    ext_associativity,
+    ext_blocksize,
+    ext_btb_size,
+    ext_l2,
+    ext_quantum,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from repro.experiments.common import (
+    EXPERIMENT_SCALES,
+    ExperimentResult,
+    get_measurement,
+)
+
+__all__ = ["ALL_EXPERIMENTS", "EXTENSION_EXPERIMENTS", "main", "run_experiments", "jsonable"]
+
+
+def jsonable(value):
+    """Convert experiment data to JSON-encodable structures.
+
+    Experiment data dicts freely use tuple keys (e.g. ``(b, l)`` slot
+    pairs) and numpy scalars; JSON supports neither, so tuples become
+    comma-joined strings and numpy values their Python equivalents.
+    """
+    if isinstance(value, dict):
+        return {
+            ",".join(map(str, k)) if isinstance(k, tuple) else str(k): jsonable(v)
+            for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if hasattr(value, "item") and callable(value.item):  # numpy scalar
+        return value.item()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+ALL_EXPERIMENTS: Dict[str, Callable] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+}
+
+#: Extension studies beyond the paper's artifacts (Section 6 conjecture
+#: and methodology ablations).  Run only when named explicitly or with
+#: ``--extensions``.
+EXTENSION_EXPERIMENTS: Dict[str, Callable] = {
+    "ext_associativity": ext_associativity.run,
+    "ext_blocksize": ext_blocksize.run,
+    "ext_btb_size": ext_btb_size.run,
+    "ext_l2": ext_l2.run,
+    "ext_quantum": ext_quantum.run,
+}
+
+
+def run_experiments(
+    names: Optional[List[str]] = None,
+    scale: Optional[str] = None,
+    out_dir: Optional[Path] = None,
+    stream=sys.stdout,
+) -> List[ExperimentResult]:
+    """Run experiments by name (all paper artifacts by default)."""
+    available = {**ALL_EXPERIMENTS, **EXTENSION_EXPERIMENTS}
+    selected = names or list(ALL_EXPERIMENTS)
+    unknown = [name for name in selected if name not in available]
+    if unknown:
+        raise SystemExit(
+            f"unknown experiment(s): {unknown}; available: {list(available)}"
+        )
+    measurement = get_measurement(scale)
+    results = []
+    for name in selected:
+        started = time.time()
+        result = available[name](measurement)
+        elapsed = time.time() - started
+        print(result, file=stream)
+        print(f"[{name} regenerated in {elapsed:.1f}s]\n", file=stream)
+        if out_dir is not None:
+            out_dir.mkdir(parents=True, exist_ok=True)
+            (out_dir / f"{name}.txt").write_text(str(result) + "\n")
+            payload = {
+                "experiment_id": result.experiment_id,
+                "title": result.title,
+                "paper_notes": result.paper_notes,
+                "data": jsonable(result.data),
+            }
+            (out_dir / f"{name}.json").write_text(json.dumps(payload, indent=2))
+        results.append(result)
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help=f"subset to run (default: all of {list(ALL_EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(EXPERIMENT_SCALES),
+        default=None,
+        help="trace scale (default: REPRO_SCALE env var or 'full')",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="directory for per-result .txt files"
+    )
+    parser.add_argument(
+        "--extensions",
+        action="store_true",
+        help="also run the extension studies (Section 6 + ablations)",
+    )
+    args = parser.parse_args(argv)
+    names = args.experiments or None
+    if args.extensions:
+        names = (names or list(ALL_EXPERIMENTS)) + list(EXTENSION_EXPERIMENTS)
+    run_experiments(names, scale=args.scale, out_dir=args.out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,206 @@
+"""Control-flow graphs, procedures, and whole programs.
+
+A :class:`Program` is a list of :class:`Procedure` objects, each of which is
+a :class:`ControlFlowGraph` of basic blocks in layout order.  Calls are
+represented structurally: a block terminated by ``jal`` names the callee
+procedure's entry block as its taken target and the return-continuation
+block as its fall-through; the trace executor maintains the call stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.isa.instruction import Instruction
+from repro.program.basic_block import BasicBlock
+
+__all__ = ["ControlFlowGraph", "Procedure", "Program"]
+
+
+class ControlFlowGraph:
+    """An ordered collection of basic blocks with resolvable edges.
+
+    Block order is layout order: the fall-through of a block must be the
+    next block in the order, which is how real object code behaves and what
+    the code-layout pass relies on.
+    """
+
+    def __init__(self, blocks: Iterable[BasicBlock] = ()) -> None:
+        self._blocks: Dict[str, BasicBlock] = {}
+        for block in blocks:
+            self.add_block(block)
+
+    def add_block(self, block: BasicBlock) -> None:
+        if block.name in self._blocks:
+            raise ConfigurationError(f"duplicate block name {block.name!r}")
+        self._blocks[block.name] = block
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._blocks
+
+    def __getitem__(self, name: str) -> BasicBlock:
+        return self._blocks[name]
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self._blocks.values())
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def block_names(self) -> List[str]:
+        return list(self._blocks)
+
+    def successors(self, name: str) -> List[str]:
+        """Possible static successors of a block (excluding call-stack returns)."""
+        block = self._blocks[name]
+        result = []
+        if block.taken_target is not None:
+            result.append(block.taken_target)
+        result.extend(block.indirect_targets)
+        if block.fallthrough is not None and (
+            block.terminator is None or block.terminator.is_conditional_branch
+        ):
+            result.append(block.fallthrough)
+        return result
+
+
+@dataclass
+class Procedure:
+    """A named procedure: its blocks in layout order.
+
+    The entry block is the first block.  ``jr $ra`` in any block returns to
+    the caller's continuation.
+    """
+
+    name: str
+    blocks: List[BasicBlock] = field(default_factory=list)
+
+    @property
+    def entry(self) -> str:
+        if not self.blocks:
+            raise ConfigurationError(f"procedure {self.name!r} has no blocks")
+        return self.blocks[0].name
+
+    @property
+    def instruction_count(self) -> int:
+        """Static instruction count of the procedure's canonical code."""
+        return sum(len(b) for b in self.blocks)
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks)
+
+
+@dataclass
+class Program:
+    """A whole program: procedures plus a global block namespace.
+
+    Attributes:
+        name: Program (benchmark) name.
+        procedures: In layout order; the first is the entry procedure.
+        text_base: Byte address at which the canonical code is laid out.
+    """
+
+    name: str
+    procedures: List[Procedure] = field(default_factory=list)
+    text_base: int = 0x0040_0000  # conventional MIPS text segment base
+
+    def __post_init__(self) -> None:
+        self._block_map: Optional[Dict[str, BasicBlock]] = None
+        self._proc_of: Optional[Dict[str, str]] = None
+
+    def _index(self) -> None:
+        self._block_map = {}
+        self._proc_of = {}
+        for proc in self.procedures:
+            for block in proc.blocks:
+                if block.name in self._block_map:
+                    raise ConfigurationError(
+                        f"duplicate block name {block.name!r} across procedures"
+                    )
+                self._block_map[block.name] = block
+                self._proc_of[block.name] = proc.name
+
+    @property
+    def block_map(self) -> Dict[str, BasicBlock]:
+        """Name -> block over all procedures (computed lazily, cached)."""
+        if self._block_map is None:
+            self._index()
+        assert self._block_map is not None
+        return self._block_map
+
+    def block(self, name: str) -> BasicBlock:
+        return self.block_map[name]
+
+    def procedure_of(self, block_name: str) -> str:
+        """Name of the procedure containing ``block_name``."""
+        if self._proc_of is None:
+            self._index()
+        assert self._proc_of is not None
+        return self._proc_of[block_name]
+
+    def invalidate_index(self) -> None:
+        """Drop cached indices after structural mutation (used by schedulers)."""
+        self._block_map = None
+        self._proc_of = None
+
+    @property
+    def entry(self) -> str:
+        """Entry block of the entry procedure."""
+        if not self.procedures:
+            raise ConfigurationError(f"program {self.name!r} has no procedures")
+        return self.procedures[0].entry
+
+    def blocks(self) -> Iterator[BasicBlock]:
+        """All blocks in layout order."""
+        for proc in self.procedures:
+            yield from proc.blocks
+
+    @property
+    def static_instruction_count(self) -> int:
+        """Static size of the canonical code, in instructions (= words)."""
+        return sum(p.instruction_count for p in self.procedures)
+
+    def ctis(self) -> Iterator[Instruction]:
+        """All terminating CTIs in layout order."""
+        for block in self.blocks():
+            term = block.terminator
+            if term is not None:
+                yield term
+
+    def validate(self) -> None:
+        """Validate every block and every edge of the program."""
+        block_map = self.block_map
+        for proc in self.procedures:
+            for i, block in enumerate(proc.blocks):
+                block.validate()
+                for succ in (
+                    [block.taken_target] if block.taken_target else []
+                ) + block.indirect_targets:
+                    if succ not in block_map:
+                        raise ConfigurationError(
+                            f"block {block.name!r} targets unknown block {succ!r}"
+                        )
+                if block.fallthrough is not None:
+                    if block.fallthrough not in block_map:
+                        raise ConfigurationError(
+                            f"block {block.name!r} falls through to unknown "
+                            f"block {block.fallthrough!r}"
+                        )
+                    # Fall-through must be the next block in layout order
+                    # within the same procedure, except after a call (jal /
+                    # jalr), where the fall-through is the return
+                    # continuation and may be anywhere.
+                    term = block.terminator
+                    is_call = term is not None and term.info.links
+                    if not is_call:
+                        if i + 1 >= len(proc.blocks) or (
+                            proc.blocks[i + 1].name != block.fallthrough
+                        ):
+                            raise ConfigurationError(
+                                f"block {block.name!r} fall-through "
+                                f"{block.fallthrough!r} is not the next block "
+                                "in layout order"
+                            )

@@ -1,0 +1,93 @@
+"""Code layout: assigning instruction addresses to basic blocks.
+
+Layout matters twice in the reproduction:
+
+* the canonical code layout defines the instruction addresses the L1-I cache
+  sees for an architecture with zero delay slots;
+* the delay-slot scheduler expands blocks (replicated target instructions,
+  noop padding), and the *expanded* layout is what produces the extra
+  instruction-cache misses of Figure 3.
+
+Addresses are byte addresses; every instruction occupies one 4-byte word.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.errors import ConfigurationError
+from repro.program.cfg import Program
+from repro.utils.units import WORD_BYTES
+
+__all__ = ["CodeLayout"]
+
+
+class CodeLayout:
+    """Maps block names to addresses for a (possibly expanded) program.
+
+    Args:
+        program: The program to lay out.
+        block_lengths: Optional override of each block's length in
+            instructions.  When omitted, canonical lengths are used.  The
+            delay-slot scheduler passes the expanded lengths here.
+        base: Byte address of the first instruction (defaults to the
+            program's text base).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        block_lengths: Optional[Mapping[str, int]] = None,
+        base: Optional[int] = None,
+    ) -> None:
+        self._program = program
+        self._base = program.text_base if base is None else base
+        if self._base % WORD_BYTES != 0:
+            raise ConfigurationError(f"text base {self._base:#x} is not word aligned")
+        self._address: Dict[str, int] = {}
+        self._length: Dict[str, int] = {}
+        cursor = self._base
+        for block in program.blocks():
+            length = len(block)
+            if block_lengths is not None:
+                length = block_lengths.get(block.name, length)
+                if length < len(block):
+                    raise ConfigurationError(
+                        f"block {block.name!r}: expanded length {length} is "
+                        f"smaller than canonical length {len(block)}"
+                    )
+            self._address[block.name] = cursor
+            self._length[block.name] = length
+            cursor += length * WORD_BYTES
+        self._end = cursor
+
+    @property
+    def base(self) -> int:
+        return self._base
+
+    @property
+    def end(self) -> int:
+        """First byte address past the laid-out code."""
+        return self._end
+
+    @property
+    def code_words(self) -> int:
+        """Total laid-out code size in instructions (= words)."""
+        return (self._end - self._base) // WORD_BYTES
+
+    def address_of(self, block_name: str) -> int:
+        """Byte address of the first instruction of a block."""
+        return self._address[block_name]
+
+    def length_of(self, block_name: str) -> int:
+        """Laid-out length of a block, in instructions."""
+        return self._length[block_name]
+
+    def is_backward_edge(self, source_block: str, target_block: str) -> bool:
+        """True if a CTI in ``source_block`` jumping to ``target_block``
+        transfers control backwards (to a lower address).
+
+        The static branch predictor of Section 3.1 predicts backward
+        branches taken.
+        """
+        return self.address_of(target_block) <= self.address_of(source_block)

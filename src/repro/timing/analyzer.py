@@ -1,0 +1,121 @@
+"""Minimum-cycle-time analysis (the reproduction's ``minTcpu``).
+
+For a candidate period ``T``, the circuit is feasible when a consistent
+assignment of *lateness* values exists: ``L(j)`` is how far past its
+nominal stage boundary latch ``j``'s data departs (time borrowing).
+
+Constraints:
+
+* every combinational path ``i -> j``:  ``L(j) >= L(i) + delay + overhead - T``
+* every latch: ``L(j) >= 0``;
+* edge-triggered registers: ``L(j) <= -setup + 0`` borrowing is forbidden
+  (data must arrive by the clock edge), i.e. ``L(j) <= 0`` after folding
+  setup into the path check;
+* transparent latches: ``L(j) <= T - setup`` (borrowing bounded by one
+  period under multiphase clocking).
+
+Feasibility is checked by longest-path relaxation (Bellman-Ford): a
+positive-gain cycle means no finite lateness assignment exists, i.e. the
+loop's average stage delay exceeds ``T``.  The minimum period is found by
+binary search; this reproduces the classic result that a loop of total
+delay ``D`` through ``k`` transparent latches supports ``T = D / k``
+regardless of where the latches sit — the property the paper exploits to
+make ``t_CPU`` track ``t_L1 / d_L1``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import TimingError
+from repro.timing.circuit import SynchronousCircuit
+
+__all__ = ["TimingAnalyzer"]
+
+_DEFAULT_TOLERANCE_NS = 1e-4
+
+
+class TimingAnalyzer:
+    """Binary-search minimum clock period solver for a circuit."""
+
+    def __init__(self, circuit: SynchronousCircuit) -> None:
+        circuit.validate()
+        self.circuit = circuit
+
+    def is_feasible(self, period_ns: float) -> bool:
+        """Can the circuit be clocked at ``period_ns``?"""
+        if period_ns <= 0:
+            return False
+        circuit = self.circuit
+        # departure[j]: how late latch j's data leaves its stage boundary
+        # (never negative — data cannot depart before its clock event).
+        departure: Dict[str, float] = {name: 0.0 for name in circuit.latches}
+
+        # Longest-path relaxation; |latches| rounds suffice for a simple
+        # path, one extra round detects a positive-gain cycle (a loop whose
+        # average stage delay exceeds the period).
+        for _ in range(len(circuit.latches) + 1):
+            changed = False
+            for path in circuit.paths:
+                excess = (
+                    departure[path.source]
+                    + path.delay_ns
+                    + circuit.overhead_ns
+                    - period_ns
+                )
+                if excess > departure[path.target] + 1e-12:
+                    departure[path.target] = max(0.0, excess)
+                    changed = True
+            if not changed:
+                break
+        else:
+            return False  # still relaxing after |V| rounds: positive cycle
+
+        # Check arrival constraints against each latch's discipline using
+        # the converged departures.  arrival_excess is how far past the
+        # stage boundary the latest signal lands at the target.
+        for path in circuit.paths:
+            arrival_excess = (
+                departure[path.source]
+                + path.delay_ns
+                + circuit.overhead_ns
+                - period_ns
+            )
+            target = circuit.latches[path.target]
+            if target.transparent:
+                # Borrowing allowed up to one period, minus setup.
+                limit = period_ns - target.setup_ns
+            else:
+                # Edge-triggered: must arrive by the edge, minus setup.
+                limit = -target.setup_ns
+            if arrival_excess > limit + 1e-12:
+                return False
+        return True
+
+    def min_cycle_time(
+        self,
+        lower_ns: float = 0.0,
+        upper_ns: Optional[float] = None,
+        tolerance_ns: float = _DEFAULT_TOLERANCE_NS,
+    ) -> float:
+        """Smallest feasible clock period, to within ``tolerance_ns``."""
+        if upper_ns is None:
+            upper_ns = (
+                sum(p.delay_ns for p in self.circuit.paths)
+                + len(self.circuit.latches) * self.circuit.overhead_ns
+                + max((l.setup_ns for l in self.circuit.latches.values()), default=0.0)
+                + 1.0
+            )
+        if not self.is_feasible(upper_ns):
+            raise TimingError(
+                f"circuit infeasible even at {upper_ns:.3f} ns; "
+                "check for a path with no period dependence"
+            )
+        low, high = max(lower_ns, 0.0), upper_ns
+        while high - low > tolerance_ns:
+            mid = (low + high) / 2.0
+            if self.is_feasible(mid):
+                high = mid
+            else:
+                low = mid
+        return high

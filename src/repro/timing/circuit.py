@@ -1,0 +1,91 @@
+"""Synchronous circuit graphs for timing analysis.
+
+A circuit is a directed graph whose nodes are storage elements (latches or
+edge-triggered registers) and whose edges are combinational paths with a
+fixed propagation delay.  This is the abstraction checkTc/minTc [SMO90]
+verify: the analyzer asks, for a candidate clock period, whether a
+consistent set of signal departure times exists.
+
+Level-sensitive (transparent) latches may *borrow* time — a signal can
+arrive after the nominal stage boundary as long as it still makes it
+around every cycle of the graph on average; edge-triggered registers allow
+no borrowing.  The paper's "optimized multiphase clocking" corresponds to
+transparent latches with freely placed phases, which is why a ``d``-deep
+cache pipeline behaves like ``t_L1 / d`` rather than ``max(segment)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import TimingError
+
+__all__ = ["Latch", "Path", "SynchronousCircuit"]
+
+
+@dataclass(frozen=True)
+class Latch:
+    """A storage element.
+
+    Attributes:
+        name: Unique node name.
+        transparent: True for a level-sensitive latch (time borrowing
+            allowed under multiphase clocking); False for an
+            edge-triggered register (arrival must meet the period).
+        setup_ns: Setup time folded into the element's constraint.
+    """
+
+    name: str
+    transparent: bool = True
+    setup_ns: float = 0.0
+
+
+@dataclass(frozen=True)
+class Path:
+    """A combinational path between two storage elements."""
+
+    source: str
+    target: str
+    delay_ns: float
+
+
+@dataclass
+class SynchronousCircuit:
+    """A collection of latches and combinational paths.
+
+    The per-latch clock/propagation overhead is a circuit-wide constant
+    (``overhead_ns``), matching the paper's treatment of the SRAM address
+    and data registers ("the overhead delay of these latches was included
+    in all timing analyses").
+    """
+
+    overhead_ns: float = 0.0
+    latches: Dict[str, Latch] = field(default_factory=dict)
+    paths: List[Path] = field(default_factory=list)
+
+    def add_latch(
+        self, name: str, transparent: bool = True, setup_ns: float = 0.0
+    ) -> Latch:
+        if name in self.latches:
+            raise TimingError(f"duplicate latch name {name!r}")
+        latch = Latch(name=name, transparent=transparent, setup_ns=setup_ns)
+        self.latches[name] = latch
+        return latch
+
+    def add_path(self, source: str, target: str, delay_ns: float) -> Path:
+        if source not in self.latches:
+            raise TimingError(f"unknown source latch {source!r}")
+        if target not in self.latches:
+            raise TimingError(f"unknown target latch {target!r}")
+        if delay_ns < 0:
+            raise TimingError("combinational delay cannot be negative")
+        path = Path(source=source, target=target, delay_ns=delay_ns)
+        self.paths.append(path)
+        return path
+
+    def validate(self) -> None:
+        if not self.latches:
+            raise TimingError("circuit has no storage elements")
+        if not self.paths:
+            raise TimingError("circuit has no combinational paths")

@@ -1,0 +1,76 @@
+"""The CPU datapath circuit of Figure 1, parameterized by cache depth.
+
+Only two structures ever set the cycle time of the paper's processor:
+
+* the **ALU feedback loop** — integer add (2.1 ns) plus result forwarding
+  back to the ALU input (1.4 ns), one register deep: the 3.5 ns floor;
+* the **cache access loop** — address generation in the ALU followed by
+  the ``t_L1`` cache access, pipelined into ``d_L1`` equal segments by the
+  SRAM address/data registers (whose overhead is charged per stage, as the
+  paper requires).  With ``d_L1 = 0`` the access is combinational within
+  the execute cycle and additionally pays the load-align/return path.
+
+Both loops live in one :class:`~repro.timing.circuit.SynchronousCircuit`;
+the analyzer's cycle constraints then yield
+``t_CPU = max(3.5, (t_addr + t_L1 + (d+1) * o) / (d+1))`` — the exact
+behaviour the paper ascribes to optimized multiphase clocking ("a smaller
+dependence of t_CPU on cache access time in deeper cache pipelines").
+"""
+
+from __future__ import annotations
+
+from repro.errors import TimingError
+from repro.timing.circuit import SynchronousCircuit
+from repro.timing.technology import DEFAULT_TECHNOLOGY, Technology
+
+__all__ = ["build_cpu_datapath", "MAX_PIPELINE_DEPTH"]
+
+#: The paper studies cache pipeline depths 0 through 3.
+MAX_PIPELINE_DEPTH = 3
+
+
+def build_cpu_datapath(
+    cache_access_ns: float,
+    pipeline_depth: int,
+    tech: Technology = DEFAULT_TECHNOLOGY,
+) -> SynchronousCircuit:
+    """Build the two-loop datapath for one L1 side.
+
+    Args:
+        cache_access_ns: The cache's ``t_L1`` (from the MCM macro-model).
+        pipeline_depth: ``d_L1`` — cache access stages (0 = unpipelined).
+        tech: Technology constants.
+    """
+    if cache_access_ns <= 0:
+        raise TimingError("cache access time must be positive")
+    if not 0 <= pipeline_depth <= MAX_PIPELINE_DEPTH:
+        raise TimingError(
+            f"pipeline depth must be in [0, {MAX_PIPELINE_DEPTH}], got {pipeline_depth}"
+        )
+    circuit = SynchronousCircuit(overhead_ns=0.0)
+    circuit.add_latch("alu")
+    circuit.add_path("alu", "alu", tech.alu_add_ns + tech.alu_feedback_ns)
+
+    if pipeline_depth == 0:
+        # Unregistered access inside the execute cycle: address generation,
+        # the whole cache, and the load-align/return path, all combinational.
+        circuit.add_path(
+            "alu",
+            "alu",
+            tech.alu_add_ns + cache_access_ns + tech.return_path_ns,
+        )
+        return circuit
+
+    # Circular pipeline of (d+1) stages: the SRAM address register, then d
+    # cache segments bounded by SRAM-internal registers.  Each register
+    # charges the latch overhead on its outgoing segment.
+    segment = cache_access_ns / pipeline_depth
+    overhead = tech.latch_overhead_ns
+    circuit.add_latch("addr")
+    for stage in range(1, pipeline_depth + 1):
+        circuit.add_latch(f"cache{stage}")
+    circuit.add_path("addr", "cache1", tech.alu_add_ns + overhead)
+    for stage in range(2, pipeline_depth + 1):
+        circuit.add_path(f"cache{stage - 1}", f"cache{stage}", segment + overhead)
+    circuit.add_path(f"cache{pipeline_depth}", "addr", segment + overhead)
+    return circuit

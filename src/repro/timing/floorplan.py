@@ -1,0 +1,55 @@
+"""The MCM floorplan of Figure 10.
+
+``n`` SRAM chips are arranged as close as possible to a
+``sqrt(n/2) x sqrt(2n)`` rectangle, with the CPU at the middle of the long
+side; the longest CPU-to-chip wire is then ``pitch * sqrt(2n)`` — the
+length that enters the distributed-RC term of equation 5.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Floorplan"]
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """Chip placement geometry for an MCM cache of ``chips`` SRAMs."""
+
+    chips: int
+    pitch_cm: float
+
+    def __post_init__(self) -> None:
+        if self.chips <= 0:
+            raise ConfigurationError("a cache needs at least one chip")
+        if self.pitch_cm <= 0:
+            raise ConfigurationError("chip pitch must be positive")
+
+    @property
+    def short_side(self) -> float:
+        """Chips along the short side: sqrt(n/2)."""
+        return math.sqrt(self.chips / 2.0)
+
+    @property
+    def long_side(self) -> float:
+        """Chips along the long side (CPU side): sqrt(2n)."""
+        return math.sqrt(2.0 * self.chips)
+
+    @property
+    def max_wire_length_cm(self) -> float:
+        """Longest CPU-to-chip wire with the CPU mid-long-side.
+
+        The worst chip is a corner: half the long side away horizontally
+        and the full short side away vertically — a Manhattan distance of
+        sqrt(2n)/2 + sqrt(n/2) = sqrt(2n) pitches.
+        """
+        return self.pitch_cm * math.sqrt(2.0 * self.chips)
+
+    @property
+    def area_cm2(self) -> float:
+        """Rectangle area (the product of the two sides in pitches)."""
+        return self.short_side * self.long_side * self.pitch_cm**2

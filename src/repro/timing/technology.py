@@ -1,0 +1,94 @@
+"""Technology constants for the GaAs / MCM implementation.
+
+The paper's absolute delays come from SPICE-calibrated macro-models of a
+GaAs DCFL process with multichip-module packaging.  Two of its numbers are
+published outright and anchor everything else:
+
+* integer ALU add: **2.1 ns**, result feedback to the ALU input: **1.4 ns**
+  — their sum is the 3.5 ns minimum cycle time of Table 6;
+* the unpipelined (depth 0) cache path limits ``t_CPU`` to **over 10 ns**,
+  and two to three pipeline stages make the ALU loop critical for all
+  cache sizes studied.
+
+The remaining constants below are calibrated so those anchors — and the
+optimum locations of Figures 12/13 — hold; each is in the physically
+plausible range for early-1990s GaAs SRAM and MCM technology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Technology", "DEFAULT_TECHNOLOGY"]
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Delay and packaging parameters.
+
+    Attributes:
+        alu_add_ns: Integer addition in the ALU (paper: 2.1 ns).
+        alu_feedback_ns: Result forwarding back to the ALU input
+            (paper: 1.4 ns); the ALU loop floor is their sum, 3.5 ns.
+        latch_overhead_ns: Per-pipeline-latch overhead (setup + clock-Q)
+            included in every timing analysis, as the paper requires for
+            the SRAM's address and data registers.
+        sram_access_ns: On-chip access time of one GaAs SRAM (t_SRAM).
+        driver_delay_ns: Off-chip driver + receiver delay (k0 of eq. 4).
+        z0_ohm: Characteristic impedance of the MCM interconnect.
+        attach_capacitance_f: Parasitic capacitance of one chip's bonding
+            pad + attach (C_MCM of eq. 5's first term).
+        r_per_cm_ohm / c_per_cm_f: Distributed interconnect R and C per cm
+            (eq. 5's second term).
+        chip_pitch_cm: Average of the horizontal/vertical chip pitches
+            including wiring channels (the d of Figure 10).
+        sram_chip_kb: Usable capacity of one SRAM chip in KB.
+        min_data_chips: Chips needed for a full 32-bit access path
+            regardless of capacity (byte-wide parts).
+        return_path_ns: Load-aligner + register-file setup on the data
+            return; combinational (in-cycle) only for an unpipelined
+            (depth 0) cache, registered away otherwise.
+        way_select_ns: Extra access time per doubling of associativity
+            (tag compare + way multiplexer), used by the Section 6
+            associativity extension study.
+    """
+
+    alu_add_ns: float = 2.1
+    alu_feedback_ns: float = 1.4
+    latch_overhead_ns: float = 0.4
+    sram_access_ns: float = 5.0
+    driver_delay_ns: float = 0.6
+    z0_ohm: float = 50.0
+    attach_capacitance_f: float = 0.6e-12
+    r_per_cm_ohm: float = 0.8
+    c_per_cm_f: float = 1.6e-12
+    chip_pitch_cm: float = 1.3
+    sram_chip_kb: int = 4
+    min_data_chips: int = 4
+    return_path_ns: float = 1.4
+    way_select_ns: float = 0.45
+
+    def __post_init__(self) -> None:
+        for name in (
+            "alu_add_ns",
+            "alu_feedback_ns",
+            "latch_overhead_ns",
+            "sram_access_ns",
+            "driver_delay_ns",
+            "chip_pitch_cm",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if self.sram_chip_kb <= 0 or self.min_data_chips <= 0:
+            raise ConfigurationError("chip parameters must be positive")
+
+    @property
+    def alu_loop_ns(self) -> float:
+        """The ALU feedback loop: the absolute cycle-time floor (3.5 ns)."""
+        return self.alu_add_ns + self.alu_feedback_ns
+
+
+#: Calibrated default technology (see module docstring).
+DEFAULT_TECHNOLOGY = Technology()

@@ -1,0 +1,34 @@
+"""Trace generation: program execution, interleaving, and trace storage.
+
+The paper's methodology is trace-driven: long multiprogrammed traces of the
+Table 1 benchmarks drive the cache and branch-prediction simulators.  This
+package provides:
+
+* :class:`~repro.trace.compiled.CompiledProgram` — a program lowered to
+  flat arrays for fast execution and reference-stream expansion;
+* :class:`~repro.trace.executor.TraceExecutor` — walks the control-flow
+  graph, drawing branch outcomes from each block's behaviour annotations,
+  and records the executed block sequence (the compact representation from
+  which instruction- and data-reference streams are expanded);
+* :mod:`~repro.trace.multiprogram` — round-robin interleaving with a
+  context-switch quantum, reproducing the multiprogrammed traces of the
+  paper;
+* :mod:`~repro.trace.io` — deterministic on-disk caching of traces.
+"""
+
+from repro.trace.compiled import BlockKind, CompiledProgram
+from repro.trace.executor import ExecutionTrace, TraceExecutor, execute_program
+from repro.trace.multiprogram import interleave_chunks, multiprogram_quanta
+from repro.trace.io import load_arrays, save_arrays
+
+__all__ = [
+    "BlockKind",
+    "CompiledProgram",
+    "ExecutionTrace",
+    "TraceExecutor",
+    "execute_program",
+    "interleave_chunks",
+    "multiprogram_quanta",
+    "load_arrays",
+    "save_arrays",
+]

@@ -1,0 +1,139 @@
+"""Lowering a :class:`~repro.program.cfg.Program` to flat arrays.
+
+The trace executor takes millions of steps; doing so over dataclass objects
+would dominate every experiment's run time.  :class:`CompiledProgram`
+lowers the CFG once into parallel lists indexed by *block id* (the block's
+position in layout order), which both the executor's inner loop and the
+vectorized reference-stream expansion consume directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.isa.opcodes import OpcodeKind
+from repro.isa.registers import RA
+from repro.program.cfg import Program
+
+__all__ = ["BlockKind", "CompiledProgram"]
+
+
+class BlockKind(enum.IntEnum):
+    """Terminator classification of a block, as small ints for speed."""
+
+    FALLTHROUGH = 0  # no terminator
+    CONDITIONAL = 1  # beq/bne/...
+    JUMP = 2  # j
+    CALL = 3  # jal
+    RETURN = 4  # jr $ra
+    COMPUTED_GOTO = 5  # jr $tN
+    INDIRECT_CALL = 6  # jalr
+
+
+class CompiledProgram:
+    """Array form of a program, indexed by block id (layout order).
+
+    Attributes (all parallel, one entry per block):
+        names: block names.
+        lengths: canonical instruction counts.
+        kinds: :class:`BlockKind` values.
+        taken_ids: block id of the taken target (-1 when none/dynamic).
+        fall_ids: block id of the fall-through / call continuation (-1 none).
+        biases: taken probability for conditional terminators.
+        indirect_ids: candidate target ids for computed gotos / indirect
+            calls (empty list otherwise).
+        load_counts / store_counts / cti_counts / syscall_counts: static
+            per-block instruction category counts.
+    """
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        blocks = list(program.blocks())
+        if not blocks:
+            raise TraceError(f"program {program.name!r} has no blocks")
+        self.index: Dict[str, int] = {b.name: i for i, b in enumerate(blocks)}
+        self.names: List[str] = [b.name for b in blocks]
+        n = len(blocks)
+        self.lengths = np.zeros(n, dtype=np.int32)
+        self.kinds = np.zeros(n, dtype=np.int8)
+        self.taken_ids = np.full(n, -1, dtype=np.int32)
+        self.fall_ids = np.full(n, -1, dtype=np.int32)
+        self.biases = np.zeros(n, dtype=np.float64)
+        self.indirect_ids: List[List[int]] = [[] for _ in range(n)]
+        self.load_counts = np.zeros(n, dtype=np.int32)
+        self.store_counts = np.zeros(n, dtype=np.int32)
+        self.cti_counts = np.zeros(n, dtype=np.int32)
+        self.syscall_counts = np.zeros(n, dtype=np.int32)
+
+        for i, block in enumerate(blocks):
+            self.lengths[i] = len(block)
+            self.biases[i] = block.taken_bias
+            for inst in block.instructions:
+                if inst.is_load:
+                    self.load_counts[i] += 1
+                elif inst.is_store:
+                    self.store_counts[i] += 1
+                elif inst.is_cti:
+                    self.cti_counts[i] += 1
+                elif inst.kind is OpcodeKind.SYSCALL:
+                    self.syscall_counts[i] += 1
+            self.kinds[i] = self._classify(block)
+            if block.taken_target is not None:
+                self.taken_ids[i] = self.index[block.taken_target]
+            if block.fallthrough is not None:
+                self.fall_ids[i] = self.index[block.fallthrough]
+            if block.indirect_targets:
+                self.indirect_ids[i] = [self.index[t] for t in block.indirect_targets]
+            if (
+                self.kinds[i] in (BlockKind.COMPUTED_GOTO, BlockKind.INDIRECT_CALL)
+                and not self.indirect_ids[i]
+            ):
+                raise TraceError(
+                    f"block {block.name!r}: register-indirect CTI needs "
+                    "indirect_targets (or $ra for a return)"
+                )
+
+        self.entry_id = self.index[program.entry]
+
+    @staticmethod
+    def _classify(block) -> BlockKind:
+        term = block.terminator
+        if term is None:
+            return BlockKind.FALLTHROUGH
+        if term.is_conditional_branch:
+            return BlockKind.CONDITIONAL
+        if term.is_register_indirect:
+            if term.info.links:
+                return BlockKind.INDIRECT_CALL
+            if term.base == RA and not block.indirect_targets:
+                return BlockKind.RETURN
+            return BlockKind.COMPUTED_GOTO
+        if term.info.links:
+            return BlockKind.CALL
+        return BlockKind.JUMP
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    @property
+    def static_words(self) -> int:
+        """Canonical static code size in words."""
+        return int(self.lengths.sum())
+
+    @property
+    def canonical_addresses(self) -> np.ndarray:
+        """Start byte address of each block in the canonical layout."""
+        if not hasattr(self, "_canonical_addresses"):
+            starts = np.concatenate(([0], np.cumsum(self.lengths)[:-1]))
+            self._canonical_addresses = (
+                self.program.text_base + starts * 4
+            ).astype(np.int64)
+        return self._canonical_addresses
+
+    def block_instructions(self, block_id: int):
+        """The instruction list of a block (for analyses, not hot paths)."""
+        return self.program.block(self.names[block_id]).instructions

@@ -1,0 +1,199 @@
+"""The trace executor: walking a program to produce an execution trace.
+
+The executor works at basic-block granularity, exactly as the paper's
+simulation does ("each basic block entry-point instruction address ... is
+used to simulate *l* sequential instruction references").  Its output — the
+sequence of executed block ids plus each CTI's outcome — is the compact
+trace from which everything else is expanded:
+
+* the canonical (zero-delay-slot) instruction reference stream;
+* the delay-slot-translated streams of Section 3.1 (via
+  :mod:`repro.sched.translation`);
+* per-block execution counts, which weight static analyses such as the
+  epsilon distributions of Figures 6/7;
+* the dynamic CTI stream consumed by the branch-target buffer.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.program.cfg import Program
+from repro.trace.compiled import BlockKind, CompiledProgram
+from repro.utils.rng import DEFAULT_SEED, spawn_rng
+
+__all__ = ["ExecutionTrace", "TraceExecutor", "execute_program"]
+
+_UNIFORM_BATCH = 1 << 16
+_MAX_CALL_DEPTH = 256
+
+
+@dataclass
+class ExecutionTrace:
+    """The result of executing a program for a number of instructions.
+
+    Attributes:
+        compiled: The lowered program the trace refers to.
+        block_ids: Executed block ids, in order (int32).
+        went_taken: Per step, 1 if control left the block via its taken /
+            call / return / indirect edge, 0 if it fell through (or the
+            trace simply continued sequentially).  Unconditional CTIs are
+            always 1.
+        restarts: Number of times execution fell off the end of the
+            program (or returned with an empty call stack) and was
+            restarted at the entry block.
+    """
+
+    compiled: CompiledProgram
+    block_ids: np.ndarray
+    went_taken: np.ndarray
+    restarts: int
+
+    @cached_property
+    def block_counts(self) -> np.ndarray:
+        """How many times each block id was executed."""
+        return np.bincount(self.block_ids, minlength=len(self.compiled))
+
+    @cached_property
+    def instruction_count(self) -> int:
+        """Canonical (zero-delay-slot) dynamic instruction count.
+
+        This is the CPI denominator the paper uses: "the instruction count
+        ... of optimized MIPS R2000 code for an architecture with no load
+        or branch delay cycles".
+        """
+        return int(self.block_counts @ self.compiled.lengths)
+
+    @cached_property
+    def category_counts(self) -> Dict[str, int]:
+        """Dynamic counts by instruction category."""
+        counts = self.block_counts
+        return {
+            "instructions": self.instruction_count,
+            "loads": int(counts @ self.compiled.load_counts),
+            "stores": int(counts @ self.compiled.store_counts),
+            "ctis": int(counts @ self.compiled.cti_counts),
+            "syscalls": int(counts @ self.compiled.syscall_counts),
+        }
+
+    @property
+    def steps(self) -> int:
+        """Number of executed basic blocks."""
+        return len(self.block_ids)
+
+    def mix_percentages(self) -> Dict[str, float]:
+        """Dynamic instruction mix, in percent (Table 1's columns)."""
+        counts = self.category_counts
+        total = max(1, counts["instructions"])
+        return {
+            "load_pct": 100.0 * counts["loads"] / total,
+            "store_pct": 100.0 * counts["stores"] / total,
+            "branch_pct": 100.0 * counts["ctis"] / total,
+        }
+
+
+class TraceExecutor:
+    """Executes a program, drawing control-flow outcomes from block biases.
+
+    Args:
+        program: A validated program (or an already-compiled one).
+        seed: Base seed; mixed with the program name, so each benchmark's
+            control-flow outcomes form an independent reproducible stream.
+    """
+
+    def __init__(self, program: Program, seed: int = DEFAULT_SEED) -> None:
+        self.compiled = (
+            program if isinstance(program, CompiledProgram) else CompiledProgram(program)
+        )
+        self._rng = spawn_rng(seed, self.compiled.program.name, "control")
+        self._uniforms = np.empty(0)
+        self._cursor = 0
+
+    def _uniform(self) -> float:
+        if self._cursor >= len(self._uniforms):
+            self._uniforms = self._rng.random(_UNIFORM_BATCH)
+            self._cursor = 0
+        value = self._uniforms[self._cursor]
+        self._cursor += 1
+        return value
+
+    def run(self, instruction_budget: int) -> ExecutionTrace:
+        """Execute until at least ``instruction_budget`` canonical
+        instructions have been traced.
+
+        The walk restarts at the entry block whenever execution falls off
+        the end of a procedure chain, so any budget can be satisfied.
+        """
+        if instruction_budget <= 0:
+            raise TraceError("instruction budget must be positive")
+        compiled = self.compiled
+        lengths = compiled.lengths.tolist()
+        kinds = compiled.kinds.tolist()
+        taken_ids = compiled.taken_ids.tolist()
+        fall_ids = compiled.fall_ids.tolist()
+        biases = compiled.biases.tolist()
+        indirect_ids = compiled.indirect_ids
+
+        block_ids = array("i")
+        went_taken = array("b")
+        call_stack: list = []
+        restarts = 0
+        current = compiled.entry_id
+        executed = 0
+
+        while executed < instruction_budget:
+            block_ids.append(current)
+            executed += lengths[current]
+            kind = kinds[current]
+            taken = 1
+            if kind == BlockKind.FALLTHROUGH:
+                nxt = fall_ids[current]
+                taken = 0
+            elif kind == BlockKind.CONDITIONAL:
+                if self._uniform() < biases[current]:
+                    nxt = taken_ids[current]
+                else:
+                    nxt = fall_ids[current]
+                    taken = 0
+            elif kind == BlockKind.JUMP:
+                nxt = taken_ids[current]
+            elif kind == BlockKind.CALL:
+                if len(call_stack) < _MAX_CALL_DEPTH:
+                    call_stack.append(fall_ids[current])
+                nxt = taken_ids[current]
+            elif kind == BlockKind.RETURN:
+                nxt = call_stack.pop() if call_stack else -1
+            elif kind == BlockKind.COMPUTED_GOTO:
+                candidates = indirect_ids[current]
+                nxt = candidates[int(self._uniform() * len(candidates))]
+            else:  # BlockKind.INDIRECT_CALL
+                candidates = indirect_ids[current]
+                if len(call_stack) < _MAX_CALL_DEPTH:
+                    call_stack.append(fall_ids[current])
+                nxt = candidates[int(self._uniform() * len(candidates))]
+            went_taken.append(taken)
+            if nxt < 0:
+                restarts += 1
+                call_stack.clear()
+                nxt = compiled.entry_id
+            current = nxt
+
+        return ExecutionTrace(
+            compiled=compiled,
+            block_ids=np.frombuffer(block_ids, dtype=np.int32).copy(),
+            went_taken=np.frombuffer(went_taken, dtype=np.int8).copy(),
+            restarts=restarts,
+        )
+
+
+def execute_program(
+    program: Program, instruction_budget: int, seed: int = DEFAULT_SEED
+) -> ExecutionTrace:
+    """Convenience wrapper: compile and run in one call."""
+    return TraceExecutor(program, seed=seed).run(instruction_budget)

@@ -1,0 +1,92 @@
+"""Deterministic on-disk caching of trace arrays.
+
+Generating the full multiprogrammed traces takes tens of seconds; the
+benchmark harness regenerates many tables from the same traces, so traces
+are cached as ``.npz`` bundles keyed by a content hash of the generating
+parameters.  The cache is purely an optimization: deleting it only costs
+regeneration time, never changes a result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.errors import TraceError
+
+__all__ = ["cache_key", "save_arrays", "load_arrays", "default_cache_dir"]
+
+
+def default_cache_dir() -> Path:
+    """The trace cache directory (override with ``REPRO_CACHE_DIR``)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path(tempfile.gettempdir()) / "repro-trace-cache"
+
+
+def cache_key(**params: Union[str, int, float, bool, None]) -> str:
+    """Stable hash key for a parameter combination.
+
+    Only JSON-scalar parameters are accepted so the key is unambiguous.
+
+    >>> cache_key(bench="gcc", n=100) == cache_key(n=100, bench="gcc")
+    True
+    """
+    for name, value in params.items():
+        if value is not None and not isinstance(value, (str, int, float, bool)):
+            raise TraceError(f"cache parameter {name!r} is not a scalar: {value!r}")
+    blob = json.dumps(params, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:24]
+
+
+def save_arrays(
+    key: str, arrays: Mapping[str, np.ndarray], cache_dir: Optional[Path] = None
+) -> Path:
+    """Persist named arrays under ``key``; returns the file path.
+
+    The write is atomic (temp file + rename) so a crashed run never leaves
+    a truncated cache entry behind.
+    """
+    directory = cache_dir or default_cache_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{key}.npz"
+    fd, tmp_name = tempfile.mkstemp(dir=str(directory), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(handle, **dict(arrays))
+        os.replace(tmp_name, path)
+    except BaseException:
+        if os.path.exists(tmp_name):
+            os.unlink(tmp_name)
+        raise
+    return path
+
+
+def load_arrays(
+    key: str, cache_dir: Optional[Path] = None
+) -> Optional[Dict[str, np.ndarray]]:
+    """Load the arrays cached under ``key``, or None if absent/corrupt.
+
+    A corrupt entry is treated as a miss (and removed) rather than an
+    error: the cache must never be able to fail an experiment.
+    """
+    directory = cache_dir or default_cache_dir()
+    path = directory / f"{key}.npz"
+    if not path.exists():
+        return None
+    try:
+        with np.load(path) as bundle:
+            return {name: bundle[name] for name in bundle.files}
+    except (OSError, ValueError):
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None

@@ -1,0 +1,88 @@
+"""Plain-text rendering of result tables and figure series.
+
+The experiment harness regenerates every table and figure of the paper as
+text: tables as aligned ASCII grids, figures as one series per line (the
+"rows/series the paper reports").  Keeping the renderer here means the
+experiment modules only assemble data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence, Tuple, Union
+
+__all__ = ["render_table", "render_series"]
+
+Cell = Union[str, int, float, None]
+
+
+def _format_cell(value: Cell, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]], title="T"))
+    T
+    a | b
+    --+------
+    1 | 2.500
+    """
+    formatted: List[List[str]] = [
+        [_format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in formatted)
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[Cell],
+    series: Mapping[str, Sequence[Cell]],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render figure data as a table with one column per series.
+
+    ``series`` maps a series name (e.g. ``"b=2"``) to y-values aligned with
+    ``x_values``.  This is how every "Figure N" of the paper is emitted.
+    """
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {len(x_values)} x values"
+            )
+    headers = [x_label] + list(series)
+    rows: List[List[Cell]] = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [series[name][i] for name in series])
+    return render_table(headers, rows, title=title, precision=precision)

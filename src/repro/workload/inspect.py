@@ -1,0 +1,65 @@
+"""CLI: inspect a synthesized benchmark program.
+
+Usage::
+
+    python -m repro.workload.inspect gcc
+    python -m repro.workload.inspect gcc --trace 100000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.workload.statistics import analyze_program
+from repro.workload.synthesis import synthesize_program
+from repro.workload.table1 import TABLE1_SUITE, benchmark_by_name
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="Inspect a synthesized benchmark.")
+    parser.add_argument(
+        "benchmark",
+        nargs="?",
+        help=f"benchmark name (one of {[s.name for s in TABLE1_SUITE]})",
+    )
+    parser.add_argument(
+        "--trace",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also execute N instructions and report the dynamic mix",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="synthesis seed")
+    args = parser.parse_args(argv)
+
+    if args.benchmark is None:
+        for spec in TABLE1_SUITE:
+            print(f"{spec.name:10s} {spec.category.value:2s}  {spec.description}")
+        return 0
+
+    spec = benchmark_by_name(args.benchmark)
+    kwargs = {} if args.seed is None else {"seed": args.seed}
+    program = synthesize_program(spec, **kwargs)
+    stats = analyze_program(program)
+    print(f"{spec.name}: {spec.description} ({spec.category.value})")
+    print(stats.summary())
+    if args.trace > 0:
+        from repro.trace import execute_program
+
+        trace = execute_program(program, args.trace, **kwargs)
+        mix = trace.mix_percentages()
+        print(
+            f"dynamic ({trace.instruction_count} instructions): "
+            f"{mix['load_pct']:.1f}% loads / {mix['store_pct']:.1f}% stores / "
+            f"{mix['branch_pct']:.1f}% CTIs "
+            f"(published: {spec.load_pct}/{spec.store_pct}/{spec.branch_pct})"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

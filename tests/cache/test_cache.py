@@ -1,0 +1,133 @@
+"""General cache model tests."""
+
+import pytest
+
+from repro.cache import FIFO, LRU, Cache, CacheStats, RandomReplacement
+from repro.errors import ConfigurationError
+
+
+class TestGeometry:
+    def test_sets(self):
+        cache = Cache(size_words=1024, block_words=4, associativity=2)
+        assert cache.num_sets == 128
+
+    def test_direct_mapped(self):
+        cache = Cache(size_words=1024, block_words=4)
+        assert cache.associativity == 1
+        assert cache.num_sets == 256
+
+    def test_size_kw(self):
+        assert Cache(size_words=2048, block_words=4).size_kw == 2.0
+
+    def test_rejects_non_power_of_two_size(self):
+        with pytest.raises(ConfigurationError):
+            Cache(size_words=1000, block_words=4)
+
+    def test_rejects_non_power_of_two_block(self):
+        with pytest.raises(ConfigurationError):
+            Cache(size_words=1024, block_words=3)
+
+    def test_rejects_block_bigger_than_cache(self):
+        with pytest.raises(ConfigurationError):
+            Cache(size_words=4, block_words=8)
+
+    def test_rejects_bad_associativity(self):
+        with pytest.raises(ConfigurationError):
+            Cache(size_words=1024, block_words=4, associativity=3)
+
+
+class TestAccessBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = Cache(size_words=64, block_words=4)
+        assert not cache.access(0x1000)
+        assert cache.access(0x1000)
+
+    def test_spatial_locality_within_block(self):
+        cache = Cache(size_words=64, block_words=4)
+        cache.access(0x1000)
+        assert cache.access(0x1004)  # same 16-byte block
+        assert not cache.access(0x1010)  # next block
+
+    def test_direct_mapped_conflict(self):
+        cache = Cache(size_words=16, block_words=4)  # 4 sets
+        conflicting = 16 * 4  # same index, different tag
+        cache.access(0)
+        assert not cache.access(conflicting)
+        assert not cache.access(0)  # evicted
+
+    def test_two_way_avoids_direct_conflict(self):
+        cache = Cache(size_words=32, block_words=4, associativity=2)  # 4 sets
+        conflicting = 16 * 4
+        cache.access(0)
+        cache.access(conflicting)
+        assert cache.access(0)
+        assert cache.access(conflicting)
+
+    def test_lru_eviction_order(self):
+        cache = Cache(size_words=32, block_words=4, associativity=2)
+        a, b, c = 0, 16 * 4, 32 * 4  # all map to set 0
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # a most recent
+        cache.access(c)  # evicts b
+        assert cache.access(a)
+        assert not cache.access(b)
+
+    def test_fifo_ignores_recency(self):
+        cache = Cache(size_words=32, block_words=4, associativity=2, replacement=FIFO())
+        a, b, c = 0, 16 * 4, 32 * 4
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # does not refresh FIFO position
+        cache.access(c)  # evicts a (first in)
+        assert not cache.access(a)
+
+    def test_random_replacement_stays_within_set(self):
+        cache = Cache(
+            size_words=32, block_words=4, associativity=2, replacement=RandomReplacement(seed=1)
+        )
+        for i in range(20):
+            cache.access(i * 16 * 4)
+        assert cache.stats.accesses == 20
+
+    def test_write_allocates(self):
+        cache = Cache(size_words=64, block_words=4)
+        assert not cache.access(0x2000, write=True)
+        assert cache.access(0x2000)
+
+    def test_probe_does_not_touch_state(self):
+        cache = Cache(size_words=64, block_words=4)
+        assert not cache.probe(0x3000)
+        assert cache.stats.accesses == 0
+        cache.access(0x3000)
+        assert cache.probe(0x3000)
+
+    def test_flush(self):
+        cache = Cache(size_words=64, block_words=4)
+        cache.access(0x1000)
+        cache.flush()
+        assert not cache.access(0x1000)
+
+    def test_access_many(self):
+        cache = Cache(size_words=64, block_words=4)
+        stats = cache.access_many([0, 4, 16, 0])
+        assert stats.accesses == 4
+        assert stats.misses == 2
+
+
+class TestCacheStats:
+    def test_rates(self):
+        stats = CacheStats(accesses=100, misses=25)
+        assert stats.miss_rate == pytest.approx(0.25)
+        assert stats.hit_rate == pytest.approx(0.75)
+        assert stats.hits == 75
+
+    def test_empty(self):
+        stats = CacheStats()
+        assert stats.miss_rate == 0.0
+        assert stats.hit_rate == 0.0
+
+    def test_merge(self):
+        merged = CacheStats(10, 2).merge(CacheStats(30, 10))
+        assert merged.accesses == 40
+        assert merged.misses == 12

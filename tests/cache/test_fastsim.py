@@ -1,0 +1,110 @@
+"""Vectorized direct-mapped simulator tests, including oracle equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import Cache, addresses_to_blocks, direct_mapped_miss_sweep, direct_mapped_misses
+from repro.errors import ConfigurationError
+
+
+class TestAddressesToBlocks:
+    def test_basic(self):
+        addresses = np.array([0, 4, 16, 20, 32])
+        assert addresses_to_blocks(addresses, block_words=4).tolist() == [0, 0, 1, 1, 2]
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(ConfigurationError):
+            addresses_to_blocks(np.array([0]), block_words=3)
+
+
+class TestDirectMappedMisses:
+    def test_empty(self):
+        assert direct_mapped_misses(np.array([], dtype=np.int64), 16) == 0
+
+    def test_cold_misses_only(self):
+        blocks = np.array([0, 1, 2, 3])
+        assert direct_mapped_misses(blocks, 16) == 4
+
+    def test_rereference_hits(self):
+        blocks = np.array([0, 1, 0, 1])
+        assert direct_mapped_misses(blocks, 16) == 2
+
+    def test_conflict_thrashing(self):
+        # Blocks 0 and 16 share set 0 in a 16-set cache: every access misses.
+        blocks = np.array([0, 16, 0, 16, 0])
+        assert direct_mapped_misses(blocks, 16) == 5
+
+    def test_bigger_cache_separates_conflicts(self):
+        blocks = np.array([0, 16, 0, 16, 0])
+        assert direct_mapped_misses(blocks, 32) == 2
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigurationError):
+            direct_mapped_misses(np.array([0]), 12)
+
+    def test_sweep_matches_individual(self):
+        rng = np.random.default_rng(3)
+        blocks = rng.integers(0, 500, size=2000)
+        sweep = direct_mapped_miss_sweep(blocks, [16, 64, 256])
+        for sets, misses in sweep.items():
+            assert misses == direct_mapped_misses(blocks, sets)
+
+    @given(
+        blocks=st.lists(st.integers(min_value=0, max_value=255), max_size=300),
+        sets_log2=st.integers(min_value=0, max_value=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_equivalent_to_reference_cache(self, blocks, sets_log2):
+        """The vectorized fast path must agree exactly with the oracle."""
+        num_sets = 1 << sets_log2
+        block_words = 4
+        fast = direct_mapped_misses(np.array(blocks, dtype=np.int64), num_sets)
+        oracle = Cache(size_words=num_sets * block_words, block_words=block_words)
+        for block in blocks:
+            oracle.access(block * block_words * 4)
+        assert fast == oracle.stats.misses
+
+    def test_miss_rate_decreases_with_size(self):
+        rng = np.random.default_rng(11)
+        # Skewed reuse over 4096 blocks.
+        blocks = (rng.random(50_000) ** 3 * 4096).astype(np.int64)
+        misses = [direct_mapped_misses(blocks, 1 << k) for k in range(4, 13)]
+        assert all(a >= b for a, b in zip(misses, misses[1:]))
+
+
+class TestMissMask:
+    def test_mask_matches_count(self):
+        import numpy as np
+        from repro.cache.fastsim import direct_mapped_miss_mask
+
+        rng = np.random.default_rng(13)
+        blocks = (rng.random(5000) ** 2 * 2000).astype(np.int64)
+        mask = direct_mapped_miss_mask(blocks, 64)
+        assert int(mask.sum()) == direct_mapped_misses(blocks, 64)
+
+    def test_mask_in_reference_order(self):
+        import numpy as np
+        from repro.cache.fastsim import direct_mapped_miss_mask
+
+        blocks = np.array([0, 1, 0, 64, 0])  # 64 aliases 0 in a 64-set cache
+        mask = direct_mapped_miss_mask(blocks, 64)
+        assert mask.tolist() == [True, True, False, True, True]
+
+    def test_empty(self):
+        import numpy as np
+        from repro.cache.fastsim import direct_mapped_miss_mask
+
+        assert direct_mapped_miss_mask(np.array([], dtype=np.int64), 16).tolist() == []
+
+    def test_mask_agrees_with_reference_cache(self):
+        import numpy as np
+        from repro.cache.fastsim import direct_mapped_miss_mask
+
+        rng = np.random.default_rng(17)
+        blocks = (rng.random(2000) ** 2 * 300).astype(np.int64)
+        mask = direct_mapped_miss_mask(blocks, 32)
+        oracle = Cache(size_words=32 * 4, block_words=4)
+        expected = [not oracle.access(int(b) * 16) for b in blocks]
+        assert mask.tolist() == expected

@@ -1,0 +1,33 @@
+"""Write-policy variant tests."""
+
+from repro.cache import Cache
+
+
+class TestWriteAllocate:
+    def test_default_allocates_on_write(self):
+        cache = Cache(size_words=64, block_words=4)
+        assert not cache.access(0x1000, write=True)
+        assert cache.access(0x1000)
+
+    def test_write_around_does_not_allocate(self):
+        cache = Cache(size_words=64, block_words=4, write_allocate=False)
+        assert not cache.access(0x1000, write=True)
+        assert not cache.access(0x1000)  # still absent: read miss
+
+    def test_write_around_counts_the_miss(self):
+        cache = Cache(size_words=64, block_words=4, write_allocate=False)
+        cache.access(0x1000, write=True)
+        assert cache.stats.misses == 1
+        assert cache.stats.accesses == 1
+
+    def test_write_hits_unaffected(self):
+        cache = Cache(size_words=64, block_words=4, write_allocate=False)
+        cache.access(0x1000)  # read fill
+        assert cache.access(0x1000, write=True)
+
+    def test_write_around_preserves_resident_lines(self):
+        cache = Cache(size_words=16, block_words=4, write_allocate=False)
+        cache.access(0)  # fill set 0
+        conflicting = 16 * 4
+        cache.access(conflicting, write=True)  # write miss: no eviction
+        assert cache.access(0)  # original line survived

@@ -1,0 +1,59 @@
+"""SystemConfig validation and penalty-mode tests."""
+
+import pytest
+
+from repro.core.config import BranchScheme, LoadScheme, PenaltyMode, SystemConfig
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = SystemConfig()
+        assert config.branch_scheme is BranchScheme.STATIC
+        assert config.load_scheme is LoadScheme.STATIC
+
+    def test_rejects_non_power_of_two_cache(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(icache_kw=3)
+
+    def test_fractional_power_of_two_allowed(self):
+        assert SystemConfig(icache_kw=0.5).icache_kw == 0.5
+
+    def test_rejects_bad_slots(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(branch_slots=4)
+        with pytest.raises(ConfigurationError):
+            SystemConfig(load_slots=-1)
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(block_words=3)
+
+    def test_rejects_nonpositive_penalty(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(penalty=0)
+
+    def test_combined_size(self):
+        assert SystemConfig(icache_kw=8, dcache_kw=16).combined_l1_kw == 24
+
+
+class TestPenaltyModes:
+    def test_cycles_mode_ignores_clock(self):
+        config = SystemConfig(penalty=10, penalty_mode=PenaltyMode.CYCLES)
+        assert config.penalty_cycles(3.5) == 10
+        assert config.penalty_cycles(100.0) == 10
+
+    def test_nanosecond_mode_divides_by_clock(self):
+        # 35 ns of memory latency costs 10 cycles at 3.5 ns, 5 at 7 ns.
+        config = SystemConfig(penalty=35.0, penalty_mode=PenaltyMode.NANOSECONDS)
+        assert config.penalty_cycles(3.5) == 10
+        assert config.penalty_cycles(7.0) == 5
+
+    def test_nanosecond_mode_rounds_up(self):
+        config = SystemConfig(penalty=10.0, penalty_mode=PenaltyMode.NANOSECONDS)
+        assert config.penalty_cycles(3.0) == 4
+
+    def test_nanosecond_mode_needs_positive_clock(self):
+        config = SystemConfig(penalty=10.0, penalty_mode=PenaltyMode.NANOSECONDS)
+        with pytest.raises(ConfigurationError):
+            config.penalty_cycles(0.0)

@@ -1,0 +1,117 @@
+"""SuiteMeasurement tests (subset session from conftest)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SuiteMeasurement
+from repro.errors import ConfigurationError
+from repro.workload import benchmark_by_name
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SuiteMeasurement(total_instructions=0)
+        with pytest.raises(ConfigurationError):
+            SuiteMeasurement(quantum_instructions=0)
+        with pytest.raises(ConfigurationError):
+            SuiteMeasurement(specs=[])
+
+    def test_budgets_follow_weights(self, measurement):
+        # gcc (235.7 M) must get a larger budget than small (16.7 M).
+        budgets = dict(zip([s.name for s in measurement.specs], measurement._budgets))
+        assert budgets["gcc"] > budgets["small"]
+
+    def test_benchmarks_built_once(self, measurement):
+        assert measurement.benchmarks is measurement.benchmarks
+
+
+class TestAggregates:
+    def test_canonical_instructions(self, measurement):
+        total = sum(b.trace.instruction_count for b in measurement.benchmarks)
+        assert measurement.canonical_instructions == total
+
+    def test_cti_fraction_plausible(self, measurement):
+        assert 0.05 < measurement.cti_fraction < 0.25
+
+    def test_load_fraction_plausible(self, measurement):
+        assert 0.10 < measurement.load_fraction < 0.40
+
+    def test_code_expansion_monotone(self, measurement):
+        pcts = [measurement.code_expansion_pct(b) for b in (0, 1, 2, 3)]
+        assert pcts[0] == 0.0
+        assert pcts == sorted(pcts)
+        assert 2.0 < pcts[1] < 12.0  # Table 2 anchor: ~6 %
+
+    def test_branch_stats_cached_and_consistent(self, measurement):
+        stats = measurement.branch_stats(2)
+        assert stats is measurement.branch_stats(2)
+        assert stats.cti_count > 0
+        assert 0 < stats.predicted_taken_pct < 100
+
+    def test_branch_waste_grows_with_slots(self, measurement):
+        cpis = [measurement.branch_stats(b).additional_cpi for b in (1, 2, 3)]
+        assert cpis == sorted(cpis)
+
+    def test_btb_stats(self, measurement):
+        stats = measurement.btb_stats
+        assert stats.ctis > 0
+        assert 0.02 < stats.wrong_rate < 0.6
+
+    def test_load_slack_aggregated(self, measurement):
+        slack = measurement.load_slack
+        assert sum(slack.dynamic_histogram.values()) == sum(
+            slack.static_histogram.values()
+        )
+        assert 0.1 < slack.loads_per_instruction < 0.4
+
+
+class TestStreamsAndMisses:
+    def test_istream_covers_all_benchmarks(self, measurement):
+        blocks = measurement.istream_blocks(0, 4)
+        spaces = set(np.unique(blocks >> (36 - 4)))
+        assert len(spaces) == len(measurement.specs)
+
+    def test_istream_memoized(self, measurement):
+        assert measurement.istream_blocks(0, 4) is measurement.istream_blocks(0, 4)
+
+    def test_dstream_length_matches_refs(self, measurement):
+        blocks = measurement.dstream_blocks(4)
+        assert len(blocks) == measurement.data_reference_count
+
+    def test_icache_misses_decrease_with_size(self, measurement):
+        misses = [measurement.icache_misses(0, 4, s) for s in (1, 4, 16)]
+        assert misses == sorted(misses, reverse=True)
+
+    def test_icache_misses_increase_with_slots(self, measurement):
+        # Code expansion from delay slots can only add misses at a small size.
+        assert measurement.icache_misses(3, 4, 1) >= measurement.icache_misses(0, 4, 1)
+
+    def test_dcache_misses_decrease_with_size(self, measurement):
+        misses = [measurement.dcache_misses(4, s) for s in (1, 4, 16)]
+        assert misses == sorted(misses, reverse=True)
+
+    def test_benchmark_rows_regenerate_table1(self, measurement):
+        rows = measurement.benchmark_rows()
+        assert len(rows) == len(measurement.specs)
+        gcc_row = next(r for r in rows if r["name"] == "gcc")
+        spec = benchmark_by_name("gcc")
+        assert gcc_row["load_pct"] == pytest.approx(spec.load_pct, abs=6.0)
+        assert gcc_row["branch_pct"] == pytest.approx(spec.branch_pct, abs=5.0)
+
+
+class TestDiskCache:
+    def test_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        specs = [benchmark_by_name("small")]
+        first = SuiteMeasurement(
+            specs=specs, total_instructions=30_000, min_benchmark_instructions=30_000
+        )
+        a = first.benchmarks[0].trace
+        second = SuiteMeasurement(
+            specs=specs, total_instructions=30_000, min_benchmark_instructions=30_000
+        )
+        b = second.benchmarks[0].trace
+        assert np.array_equal(a.block_ids, b.block_ids)
+        assert np.array_equal(a.went_taken, b.went_taken)
+        assert any(tmp_path.iterdir())

@@ -1,0 +1,63 @@
+"""Design-report tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import CpiModel, DesignOptimizer, SystemConfig
+from repro.core.report import compare_design_points, design_point_report
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def optimizer(measurement):
+    return DesignOptimizer(measurement)
+
+
+@pytest.fixture(scope="module")
+def model(measurement):
+    return CpiModel(measurement)
+
+
+class TestDesignPointReport:
+    def test_contains_all_sections(self, optimizer, model):
+        point = optimizer.evaluate(
+            SystemConfig(icache_kw=8, dcache_kw=8, branch_slots=3, load_slots=3, penalty=10)
+        )
+        report = design_point_report(point, model)
+        assert "L1-I 8 KW" in report
+        assert "L1-D misses" in report
+        assert "TPI" in report
+        assert "ALU feedback loop" in report  # b=l=3 at 8 KW hits the floor
+
+    def test_cache_critical_labelled(self, optimizer, model):
+        point = optimizer.evaluate(
+            SystemConfig(icache_kw=32, dcache_kw=1, branch_slots=1, load_slots=1, penalty=10)
+        )
+        report = design_point_report(point, model)
+        assert "critical: L1-I access loop" in report
+
+    def test_totals_match_evaluation(self, optimizer, model):
+        config = SystemConfig(icache_kw=4, dcache_kw=4, penalty=10)
+        point = optimizer.evaluate(config)
+        report = design_point_report(point, model)
+        assert f"{point.tpi_ns:.2f} ns per instruction" in report
+
+
+class TestCompareDesignPoints:
+    def test_ranked_by_tpi(self, optimizer):
+        base = SystemConfig(penalty=10)
+        points = [
+            optimizer.evaluate(dataclasses.replace(base, branch_slots=b, load_slots=b))
+            for b in (0, 2)
+        ]
+        text = compare_design_points(points)
+        lines = text.splitlines()
+        # The b=2 point must rank first with a +0.0% delta.
+        first_data_row = lines[3]
+        assert "b=2" in first_data_row
+        assert "+0.0%" in first_data_row
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compare_design_points([])

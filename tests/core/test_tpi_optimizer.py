@@ -1,0 +1,119 @@
+"""TPI, cycle-time combination, and optimizer tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import (
+    DesignOptimizer,
+    SystemConfig,
+    relative_tpi_change,
+    system_cycle_time_ns,
+    tpi_ns,
+)
+from repro.core.config import LoadScheme
+from repro.core.tcpu import side_cycle_times_ns
+from repro.core.tpi import required_tcpu_reduction
+from repro.errors import ConfigurationError
+
+
+class TestTpi:
+    def test_equation_one(self):
+        assert tpi_ns(2.0, 3.5) == 7.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            tpi_ns(0, 3.5)
+
+    def test_equation_seven_first_order(self):
+        change = relative_tpi_change(2.0, 2.1, 4.0, 3.8)
+        assert change == pytest.approx(0.05 - 0.05)
+
+    def test_required_reduction(self):
+        # A 10 % CPI increase needs ~9.1 % cycle-time reduction.
+        assert required_tcpu_reduction(2.0, 2.2) == pytest.approx(1 - 2.0 / 2.2)
+
+    def test_required_reduction_breaks_even(self):
+        cpi_before, cpi_after = 2.0, 2.3
+        reduction = required_tcpu_reduction(cpi_before, cpi_after)
+        tcpu = 4.0
+        assert cpi_after * tcpu * (1 - reduction) == pytest.approx(cpi_before * tcpu)
+
+
+class TestSystemCycleTime:
+    def test_max_of_sides(self):
+        config = SystemConfig(icache_kw=32, dcache_kw=1, branch_slots=1, load_slots=3)
+        icache, dcache = side_cycle_times_ns(config)
+        assert system_cycle_time_ns(config) == max(icache, dcache)
+        assert icache > dcache  # big unpipelined-ish I side dominates
+
+    def test_balanced_deep_pipeline_hits_alu_floor(self):
+        config = SystemConfig(icache_kw=8, dcache_kw=8, branch_slots=3, load_slots=3)
+        assert system_cycle_time_ns(config) == pytest.approx(3.5, abs=0.01)
+
+    def test_unbalanced_pipelining_is_wasted(self):
+        # Deepening only one side cannot beat the slower side's clock.
+        balanced = SystemConfig(icache_kw=32, dcache_kw=32, branch_slots=2, load_slots=2)
+        lopsided = dataclasses.replace(balanced, branch_slots=3)
+        assert system_cycle_time_ns(lopsided) == pytest.approx(
+            side_cycle_times_ns(lopsided)[1]
+        )
+
+
+class TestOptimizer:
+    @pytest.fixture(scope="class")
+    def optimizer(self, measurement):
+        return DesignOptimizer(measurement)
+
+    def test_evaluate_point(self, optimizer):
+        point = optimizer.evaluate(SystemConfig(penalty=10))
+        assert point.cpi > 1.0
+        assert point.tpi_ns == pytest.approx(point.cpi * point.cycle_time_ns)
+
+    def test_symmetric_grid_shape(self, optimizer):
+        grid = optimizer.symmetric_grid(SystemConfig(penalty=10))
+        assert len(grid) == 4 * 6
+        assert all(c.icache_kw == c.dcache_kw for c in grid)
+
+    def test_asymmetric_grid_shape(self, optimizer):
+        grid = optimizer.asymmetric_grid(
+            SystemConfig(penalty=10),
+            icache_sizes_kw=(8, 16),
+            dcache_sizes_kw=(8,),
+            branch_slots=(2, 3),
+            load_slots=(2,),
+        )
+        assert len(grid) == 4
+
+    def test_best_rejects_empty(self, optimizer):
+        with pytest.raises(ConfigurationError):
+            optimizer.best([])
+
+    def test_pipelined_beats_unpipelined(self, optimizer):
+        """The headline claim: 2-3 cache pipeline stages beat 0-1."""
+        base = SystemConfig(penalty=10)
+        best = optimizer.optimize_symmetric(base)
+        assert best.config.branch_slots >= 2
+        assert best.config.load_slots >= 2
+        shallow = optimizer.evaluate(
+            dataclasses.replace(base, branch_slots=0, load_slots=0)
+        )
+        assert best.tpi_ns < 0.6 * shallow.tpi_ns
+
+    def test_dynamic_loads_improve_tpi(self, optimizer):
+        base = SystemConfig(penalty=10)
+        static = optimizer.optimize_symmetric(base)
+        dynamic = optimizer.optimize_symmetric(
+            dataclasses.replace(base, load_scheme=LoadScheme.DYNAMIC)
+        )
+        assert dynamic.tpi_ns < static.tpi_ns
+
+    def test_lower_penalty_improves_tpi(self, optimizer):
+        best10 = optimizer.optimize_symmetric(SystemConfig(penalty=10))
+        best6 = optimizer.optimize_symmetric(SystemConfig(penalty=6))
+        assert best6.tpi_ns < best10.tpi_ns
+
+    def test_higher_penalty_grows_optimal_cache(self, optimizer):
+        best6 = optimizer.optimize_symmetric(SystemConfig(penalty=6))
+        best18 = optimizer.optimize_symmetric(SystemConfig(penalty=18))
+        assert best18.config.combined_l1_kw >= best6.config.combined_l1_kw

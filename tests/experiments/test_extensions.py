@@ -1,0 +1,83 @@
+"""Extension-experiment tests (subset session)."""
+
+import pytest
+
+from repro.experiments import ext_associativity, ext_blocksize, ext_btb_size
+
+
+class TestAssociativityExtension:
+    @pytest.fixture(scope="class")
+    def result(self, measurement):
+        return ext_associativity.run(measurement)
+
+    def test_misses_fall_with_ways(self, result):
+        points = result.data["points"]
+        assert points[(1, 1)]["misses"] >= points[(1, 2)]["misses"] >= points[(1, 4)]["misses"]
+
+    def test_deep_pipeline_absorbs_way_select(self, result):
+        points = result.data["points"]
+        # At depth 3 the ALU loop hides the associative access entirely.
+        assert points[(3, 2)]["cycle_ns"] == pytest.approx(3.5, abs=0.01)
+        # At depth 1 the way mux lands on the critical path.
+        assert points[(1, 2)]["cycle_ns"] > points[(1, 1)]["cycle_ns"]
+
+    def test_section6_conjecture(self, result):
+        # Associativity must pay more at depth 3 than at depth 1.
+        assert result.data["benefit_deep_ns"] > result.data["benefit_shallow_ns"]
+
+
+class TestBlocksizeExtension:
+    @pytest.fixture(scope="class")
+    def result(self, measurement):
+        return ext_blocksize.run(measurement)
+
+    def test_every_rate_has_a_best_block(self, result):
+        for rate in (4, 2, 1):
+            assert result.data[rate]["best_block"] in (4, 8, 16)
+
+    def test_penalties_follow_refill_model(self, result):
+        per_block = result.data[1]["per_block"]
+        assert per_block[16]["penalty_cycles"] == 18
+        assert per_block[4]["penalty_cycles"] == 6
+
+    def test_slow_refill_prefers_smaller_blocks(self, result):
+        assert result.data[1]["best_block"] <= result.data[4]["best_block"]
+
+
+class TestBtbSizeExtension:
+    @pytest.fixture(scope="class")
+    def result(self, measurement):
+        return ext_btb_size.run(measurement)
+
+    def test_bigger_btb_predicts_better(self, result):
+        wrong = [result.data[n]["wrong_rate"] for n in (64, 256, 1024, 4096)]
+        assert wrong == sorted(wrong, reverse=True)
+
+    def test_hit_rate_rises_with_entries(self, result):
+        hits = [result.data[n]["hit_rate"] for n in (64, 256, 4096)]
+        assert hits == sorted(hits)
+
+
+class TestL2Extension:
+    @pytest.fixture(scope="class")
+    def result(self, measurement):
+        from repro.experiments import ext_l2
+
+        return ext_l2.run(measurement)
+
+    def test_bigger_l2_never_hurts(self, result):
+        for l1_kw in (1, 8, 32):
+            rates = [result.data[(l1_kw, l2)]["l2_miss_rate"] for l2 in (64, 256, 1024)]
+            assert rates == sorted(rates, reverse=True)
+
+    def test_effective_penalty_formula(self, result):
+        from repro.experiments.ext_l2 import L2_HIT_CYCLES, MEMORY_CYCLES
+
+        point = result.data[(8, 256)]
+        assert point["effective_penalty"] == pytest.approx(
+            L2_HIT_CYCLES + point["l2_miss_rate"] * MEMORY_CYCLES
+        )
+
+    def test_l1_misses_shrink_with_l1_size(self, result):
+        misses = [result.data[(kw, 256)]["l1_misses"] for kw in (1, 8, 32)]
+        assert misses == sorted(misses, reverse=True)

@@ -1,0 +1,121 @@
+"""Program / CFG structure tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isa.assembler import assemble_block
+from repro.program.basic_block import BasicBlock
+from repro.program.cfg import ControlFlowGraph, Procedure, Program
+
+
+def bb(name, text="nop", **kwargs):
+    return BasicBlock(name=name, instructions=assemble_block(text), **kwargs)
+
+
+def tiny_program():
+    """main: loop over body, call helper once per iteration."""
+    main = Procedure(
+        name="main",
+        blocks=[
+            bb("main.entry", "addiu $sp, $sp, -16"),
+            bb("main.loop", "jal helper.entry", taken_target="helper.entry", fallthrough="main.test"),
+            bb(
+                "main.test",
+                "addiu $t0, $t0, -1\nbne $t0, $zero, main.loop",
+                taken_target="main.loop",
+                fallthrough="main.exit",
+                taken_bias=0.9,
+                backward=True,
+            ),
+            bb("main.exit", "jr $ra"),
+        ],
+    )
+    helper = Procedure(
+        name="helper",
+        blocks=[bb("helper.entry", "addu $v0, $zero, $zero\njr $ra")],
+    )
+    return Program(name="tiny", procedures=[main, helper])
+
+
+class TestControlFlowGraph:
+    def test_duplicate_block_rejected(self):
+        cfg = ControlFlowGraph([bb("a")])
+        with pytest.raises(ConfigurationError):
+            cfg.add_block(bb("a"))
+
+    def test_lookup_and_iteration(self):
+        cfg = ControlFlowGraph([bb("a"), bb("b")])
+        assert cfg["a"].name == "a"
+        assert cfg.block_names == ["a", "b"]
+        assert len(cfg) == 2
+        assert "a" in cfg and "z" not in cfg
+
+    def test_successors_conditional(self):
+        cfg = ControlFlowGraph(
+            [bb("a", "beq $t0, $t1, c", taken_target="c", fallthrough="b")]
+        )
+        assert cfg.successors("a") == ["c", "b"]
+
+    def test_successors_unconditional_jump_has_no_fallthrough(self):
+        cfg = ControlFlowGraph([bb("a", "j c", taken_target="c", fallthrough="b")])
+        assert cfg.successors("a") == ["c"]
+
+    def test_successors_indirect(self):
+        cfg = ControlFlowGraph([bb("a", "jr $t9", indirect_targets=["x", "y"])])
+        assert cfg.successors("a") == ["x", "y"]
+
+
+class TestProgram:
+    def test_entry(self):
+        assert tiny_program().entry == "main.entry"
+
+    def test_block_map_and_procedure_of(self):
+        prog = tiny_program()
+        assert prog.block("helper.entry").name == "helper.entry"
+        assert prog.procedure_of("main.loop") == "main"
+        assert prog.procedure_of("helper.entry") == "helper"
+
+    def test_static_instruction_count(self):
+        prog = tiny_program()
+        assert prog.static_instruction_count == sum(len(b) for b in prog.blocks())
+
+    def test_ctis_iterates_terminators(self):
+        prog = tiny_program()
+        ctis = list(prog.ctis())
+        assert len(ctis) == 4  # jal, bne, jr, jr
+
+    def test_validate_accepts_good_program(self):
+        tiny_program().validate()
+
+    def test_validate_rejects_unknown_target(self):
+        prog = tiny_program()
+        prog.block("main.test").taken_target = "nowhere"
+        with pytest.raises(ConfigurationError):
+            prog.validate()
+
+    def test_validate_rejects_bad_layout_fallthrough(self):
+        prog = tiny_program()
+        # bne's fall-through must be the next block in layout order.
+        prog.block("main.test").fallthrough = "main.entry"
+        with pytest.raises(ConfigurationError):
+            prog.validate()
+
+    def test_call_fallthrough_may_skip(self):
+        # jal's fall-through is a continuation and is exempt from the
+        # adjacent-layout rule (checked by validate passing on tiny_program,
+        # where jal falls through to the adjacent block anyway); move the
+        # continuation to confirm the exemption.
+        prog = tiny_program()
+        prog.block("main.loop").fallthrough = "main.exit"
+        prog.validate()
+
+    def test_duplicate_blocks_across_procedures_rejected(self):
+        prog = tiny_program()
+        prog.procedures[1].blocks.append(bb("main.entry"))
+        prog.invalidate_index()
+        with pytest.raises(ConfigurationError):
+            prog.validate()
+
+    def test_empty_program_has_no_entry(self):
+        with pytest.raises(ConfigurationError):
+            Program(name="empty").entry

@@ -1,0 +1,73 @@
+"""Code layout tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isa.assembler import assemble_block
+from repro.program.basic_block import BasicBlock
+from repro.program.cfg import Procedure, Program
+from repro.program.layout import CodeLayout
+
+
+def program_with_lengths(lengths):
+    blocks = [
+        BasicBlock(name=f"b{i}", instructions=assemble_block("\n".join(["nop"] * n)))
+        for i, n in enumerate(lengths)
+    ]
+    return Program(name="p", procedures=[Procedure(name="p", blocks=blocks)])
+
+
+class TestCanonicalLayout:
+    def test_sequential_addresses(self):
+        prog = program_with_lengths([3, 2, 5])
+        layout = CodeLayout(prog)
+        assert layout.address_of("b0") == prog.text_base
+        assert layout.address_of("b1") == prog.text_base + 3 * 4
+        assert layout.address_of("b2") == prog.text_base + 5 * 4
+
+    def test_code_words(self):
+        layout = CodeLayout(program_with_lengths([3, 2, 5]))
+        assert layout.code_words == 10
+
+    def test_end(self):
+        prog = program_with_lengths([4])
+        layout = CodeLayout(prog)
+        assert layout.end == prog.text_base + 16
+
+    def test_custom_base(self):
+        layout = CodeLayout(program_with_lengths([1]), base=0x1000)
+        assert layout.address_of("b0") == 0x1000
+
+    def test_misaligned_base_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CodeLayout(program_with_lengths([1]), base=0x1001)
+
+
+class TestExpandedLayout:
+    def test_expanded_lengths_shift_following_blocks(self):
+        prog = program_with_lengths([3, 2])
+        layout = CodeLayout(prog, block_lengths={"b0": 5})
+        assert layout.length_of("b0") == 5
+        assert layout.address_of("b1") == prog.text_base + 5 * 4
+        assert layout.code_words == 7
+
+    def test_missing_override_uses_canonical(self):
+        prog = program_with_lengths([3, 2])
+        layout = CodeLayout(prog, block_lengths={"b1": 4})
+        assert layout.length_of("b0") == 3
+
+    def test_shrinking_a_block_rejected(self):
+        prog = program_with_lengths([3])
+        with pytest.raises(ConfigurationError):
+            CodeLayout(prog, block_lengths={"b0": 1})
+
+
+class TestBackwardEdges:
+    def test_backward_and_forward(self):
+        layout = CodeLayout(program_with_lengths([2, 2, 2]))
+        assert layout.is_backward_edge("b2", "b0")
+        assert not layout.is_backward_edge("b0", "b2")
+
+    def test_self_loop_is_backward(self):
+        layout = CodeLayout(program_with_lengths([2]))
+        assert layout.is_backward_edge("b0", "b0")

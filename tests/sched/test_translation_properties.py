@@ -1,0 +1,73 @@
+"""Property-based invariants of translation files over synthesized code.
+
+The translation file is the bridge between canonical traces and every
+delay-slot experiment; these invariants are what the reference-stream
+expander silently relies on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched.translation import TranslationFile
+from repro.trace.compiled import BlockKind, CompiledProgram
+from repro.workload import benchmark_by_name, synthesize_program
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return CompiledProgram(synthesize_program(benchmark_by_name("small")))
+
+
+@settings(max_examples=8, deadline=None)
+@given(slots=st.integers(min_value=0, max_value=3), seed=st.integers(0, 3))
+def test_translation_invariants(slots, seed):
+    compiled = CompiledProgram(
+        synthesize_program(benchmark_by_name("linpack"), seed=seed)
+    )
+    translation = TranslationFile(compiled, slots)
+
+    # 1. Lengths never shrink and grow by at most `slots`.
+    growth = translation.new_lengths - compiled.lengths
+    assert (growth >= 0).all()
+    assert (growth <= slots).all()
+
+    # 2. Addresses are word-aligned, strictly increasing, non-overlapping.
+    addresses = translation.new_addresses
+    assert (addresses % 4 == 0).all()
+    spans = addresses + 4 * translation.new_lengths.astype(np.int64)
+    assert (addresses[1:] == spans[:-1]).all()
+
+    # 3. r + s == slots exactly for every CTI block.
+    cti_blocks = np.flatnonzero(compiled.kinds != BlockKind.FALLTHROUGH)
+    assert (
+        translation.r_values[cti_blocks] + translation.s_values[cti_blocks] == slots
+    ).all()
+
+    # 4. Only predicted-taken or indirect CTIs grow; their growth is s.
+    grows = growth > 0
+    assert (
+        (translation.predicted_taken | translation.indirect)[grows]
+    ).all()
+    assert (growth[grows] == translation.s_values[grows]).all()
+
+    # 5. Skip is only nonzero for predicted-taken, non-indirect CTIs and
+    #    never exceeds s.
+    skipping = translation.skip_words > 0
+    assert (translation.predicted_taken[skipping]).all()
+    assert (~translation.indirect[skipping]).all()
+    assert (translation.skip_words <= translation.s_values).all()
+
+
+def test_all_slot_counts_share_canonical_order(compiled):
+    # Block order (and hence trace block ids) is translation-invariant.
+    base = TranslationFile(compiled, 0)
+    for slots in (1, 2, 3):
+        translation = TranslationFile(compiled, slots)
+        assert (translation.new_addresses >= base.new_addresses).all()
+
+
+def test_growth_monotone_in_slots(compiled):
+    totals = [TranslationFile(compiled, slots).code_words for slots in range(4)]
+    assert totals == sorted(totals)

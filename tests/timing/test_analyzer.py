@@ -1,0 +1,98 @@
+"""Timing analyzer tests: latch borrowing, cycle bounds, binary search."""
+
+import pytest
+
+from repro.errors import TimingError
+from repro.timing import SynchronousCircuit, TimingAnalyzer
+
+
+def loop_circuit(delays, transparent=True, overhead=0.0):
+    """A ring of len(delays) latches with the given segment delays."""
+    circuit = SynchronousCircuit(overhead_ns=overhead)
+    n = len(delays)
+    for i in range(n):
+        circuit.add_latch(f"l{i}", transparent=transparent)
+    for i, delay in enumerate(delays):
+        circuit.add_path(f"l{i}", f"l{(i + 1) % n}", delay)
+    return circuit
+
+
+class TestFeasibility:
+    def test_single_loop_bound(self):
+        analyzer = TimingAnalyzer(loop_circuit([3.5]))
+        assert analyzer.is_feasible(3.5)
+        assert not analyzer.is_feasible(3.4)
+
+    def test_borrowing_averages_unbalanced_segments(self):
+        # Segments 6 + 2 over two transparent latches: T = 4, not 6.
+        analyzer = TimingAnalyzer(loop_circuit([6.0, 2.0]))
+        assert analyzer.is_feasible(4.01)
+        assert not analyzer.is_feasible(3.9)
+
+    def test_edge_triggered_forbids_borrowing(self):
+        # The same unbalanced ring with hard registers needs T = 6.
+        analyzer = TimingAnalyzer(loop_circuit([6.0, 2.0], transparent=False))
+        assert analyzer.is_feasible(6.01)
+        assert not analyzer.is_feasible(5.0)
+
+    def test_overhead_charged_per_stage(self):
+        analyzer = TimingAnalyzer(loop_circuit([3.0, 3.0], overhead=0.5))
+        # Mean stage = (3 + 0.5) = 3.5.
+        assert analyzer.is_feasible(3.51)
+        assert not analyzer.is_feasible(3.4)
+
+    def test_nonpositive_period_infeasible(self):
+        analyzer = TimingAnalyzer(loop_circuit([1.0]))
+        assert not analyzer.is_feasible(0.0)
+
+
+class TestMinCycleTime:
+    def test_matches_loop_mean(self):
+        analyzer = TimingAnalyzer(loop_circuit([6.0, 2.0]))
+        assert analyzer.min_cycle_time() == pytest.approx(4.0, abs=1e-3)
+
+    def test_two_loops_take_max(self):
+        circuit = SynchronousCircuit()
+        circuit.add_latch("alu")
+        circuit.add_latch("a")
+        circuit.add_latch("b")
+        circuit.add_path("alu", "alu", 3.5)
+        circuit.add_path("a", "b", 1.0)
+        circuit.add_path("b", "a", 2.0)
+        assert TimingAnalyzer(circuit).min_cycle_time() == pytest.approx(3.5, abs=1e-3)
+
+    def test_setup_time_tightens_hard_latch(self):
+        circuit = SynchronousCircuit()
+        circuit.add_latch("r", transparent=False, setup_ns=0.5)
+        circuit.add_path("r", "r", 3.0)
+        assert TimingAnalyzer(circuit).min_cycle_time() == pytest.approx(3.5, abs=1e-3)
+
+    def test_acyclic_pipeline_bounded_by_longest_hard_stage(self):
+        circuit = SynchronousCircuit()
+        for name in ("a", "b", "c"):
+            circuit.add_latch(name, transparent=False)
+        circuit.add_path("a", "b", 2.0)
+        circuit.add_path("b", "c", 5.0)
+        assert TimingAnalyzer(circuit).min_cycle_time() == pytest.approx(5.0, abs=1e-3)
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(TimingError):
+            TimingAnalyzer(SynchronousCircuit())
+
+    def test_unknown_path_endpoints_rejected(self):
+        circuit = SynchronousCircuit()
+        circuit.add_latch("a")
+        with pytest.raises(TimingError):
+            circuit.add_path("a", "missing", 1.0)
+
+    def test_duplicate_latch_rejected(self):
+        circuit = SynchronousCircuit()
+        circuit.add_latch("a")
+        with pytest.raises(TimingError):
+            circuit.add_latch("a")
+
+    def test_negative_delay_rejected(self):
+        circuit = SynchronousCircuit()
+        circuit.add_latch("a")
+        with pytest.raises(TimingError):
+            circuit.add_path("a", "a", -1.0)

@@ -1,0 +1,108 @@
+"""Macro-model tests: floorplan (Fig 10), MCM delay (eqs 4-6), chips."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.timing import (
+    DEFAULT_TECHNOLOGY,
+    Floorplan,
+    Technology,
+    cache_access_time_ns,
+    chips_for_cache,
+    k1_coefficient,
+    mcm_delay_ns,
+)
+
+
+class TestFloorplan:
+    def test_rectangle_sides(self):
+        plan = Floorplan(chips=8, pitch_cm=1.0)
+        assert plan.short_side == pytest.approx(2.0)
+        assert plan.long_side == pytest.approx(4.0)
+
+    def test_aspect_ratio_is_two(self):
+        plan = Floorplan(chips=18, pitch_cm=1.3)
+        assert plan.long_side / plan.short_side == pytest.approx(2.0)
+
+    def test_max_wire_scales_with_sqrt_2n(self):
+        plan = Floorplan(chips=8, pitch_cm=1.5)
+        assert plan.max_wire_length_cm == pytest.approx(1.5 * math.sqrt(16))
+
+    def test_area(self):
+        plan = Floorplan(chips=8, pitch_cm=1.0)
+        assert plan.area_cm2 == pytest.approx(8.0)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            Floorplan(chips=0, pitch_cm=1.0)
+        with pytest.raises(ConfigurationError):
+            Floorplan(chips=4, pitch_cm=0)
+
+
+class TestMcmDelay:
+    def test_linear_in_chips(self):
+        k1 = k1_coefficient()
+        assert mcm_delay_ns(10) - mcm_delay_ns(5) == pytest.approx(5 * k1)
+
+    def test_intercept_is_driver_delay(self):
+        k1 = k1_coefficient()
+        assert mcm_delay_ns(1) == pytest.approx(DEFAULT_TECHNOLOGY.driver_delay_ns + k1)
+
+    def test_k1_terms(self):
+        # k1 = Z0*C_attach + 2*d^2*R*C (eq 5), converted to ns.
+        tech = DEFAULT_TECHNOLOGY
+        expected = (
+            tech.z0_ohm * tech.attach_capacitance_f
+            + 2 * tech.chip_pitch_cm**2 * tech.r_per_cm_ohm * tech.c_per_cm_f
+        ) * 1e9
+        assert k1_coefficient() == pytest.approx(expected)
+
+    def test_rejects_nonpositive_chips(self):
+        with pytest.raises(ConfigurationError):
+            mcm_delay_ns(0)
+
+
+class TestChipsForCache:
+    def test_width_floor(self):
+        # Tiny caches still need a full 32-bit access path + a tag chip.
+        assert chips_for_cache(1) == 5
+
+    def test_capacity_scaling(self):
+        assert chips_for_cache(32) == 36  # 32 data + 4 tag
+
+    def test_monotone(self):
+        sizes = [1, 2, 4, 8, 16, 32]
+        counts = [chips_for_cache(s) for s in sizes]
+        assert counts == sorted(counts)
+
+
+class TestCacheAccessTime:
+    def test_equation_six(self):
+        tech = DEFAULT_TECHNOLOGY
+        chips = chips_for_cache(8, tech)
+        expected = (
+            tech.sram_access_ns
+            + 2 * tech.driver_delay_ns
+            + 2 * chips * k1_coefficient(tech)
+        )
+        assert cache_access_time_ns(8) == pytest.approx(expected)
+
+    def test_monotone_in_size(self):
+        times = [cache_access_time_ns(s) for s in (1, 2, 4, 8, 16, 32)]
+        assert times == sorted(times)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ConfigurationError):
+            cache_access_time_ns(0)
+
+    def test_technology_validation(self):
+        with pytest.raises(ConfigurationError):
+            Technology(alu_add_ns=-1)
+        with pytest.raises(ConfigurationError):
+            Technology(sram_chip_kb=0)
+
+    def test_alu_loop_anchor(self):
+        # The published GaAs numbers: 2.1 ns add + 1.4 ns feedback.
+        assert DEFAULT_TECHNOLOGY.alu_loop_ns == pytest.approx(3.5)

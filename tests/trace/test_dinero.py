@@ -1,0 +1,72 @@
+"""DineroIV export tests."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.sched.refstream import InstructionStream
+from repro.trace.dinero import DIN_FETCH, DIN_READ, DIN_WRITE, din_lines, write_din
+
+
+def stream(starts, lengths):
+    return InstructionStream(
+        np.array(starts, dtype=np.int64), np.array(lengths, dtype=np.int64)
+    )
+
+
+class TestDinLines:
+    def test_format(self):
+        assert list(din_lines(DIN_FETCH, [0x400000])) == ["2 400000"]
+        assert list(din_lines(DIN_READ, [16])) == ["0 10"]
+        assert list(din_lines(DIN_WRITE, [17])) == ["1 11"]
+
+    def test_invalid_label(self):
+        with pytest.raises(TraceError):
+            list(din_lines(7, [0]))
+
+
+class TestWriteDin:
+    def test_instruction_stream_expansion(self):
+        buffer = io.StringIO()
+        count = write_din(buffer, instruction_stream=stream([0x100], [3]))
+        assert count == 3
+        assert buffer.getvalue().splitlines() == ["2 100", "2 104", "2 108"]
+
+    def test_mixed_streams(self):
+        buffer = io.StringIO()
+        count = write_din(
+            buffer,
+            instruction_stream=stream([0], [1]),
+            read_addresses=np.array([0x2000]),
+            write_addresses=np.array([0x3000]),
+        )
+        lines = buffer.getvalue().splitlines()
+        assert count == 3
+        assert lines == ["2 0", "0 2000", "1 3000"]
+
+    def test_file_destination(self, tmp_path):
+        path = tmp_path / "trace.din"
+        count = write_din(path, read_addresses=np.array([4, 8]))
+        assert count == 2
+        assert path.read_text().splitlines() == ["0 4", "0 8"]
+
+    def test_nothing_to_export(self):
+        with pytest.raises(TraceError):
+            write_din(io.StringIO())
+
+    def test_roundtrip_with_real_trace(self):
+        from repro.sched import TranslationFile, expand_istream
+        from repro.trace import execute_program
+        from repro.workload import benchmark_by_name, synthesize_program
+
+        program = synthesize_program(benchmark_by_name("small"))
+        trace = execute_program(program, 2000)
+        istream = expand_istream(trace, TranslationFile(trace.compiled, 0))
+        buffer = io.StringIO()
+        count = write_din(buffer, instruction_stream=istream)
+        assert count == istream.total_fetches
+        first_label, first_addr = buffer.getvalue().splitlines()[0].split()
+        assert first_label == "2"
+        assert int(first_addr, 16) % 4 == 0

@@ -1,0 +1,50 @@
+"""Trace cache IO tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.io import cache_key, load_arrays, save_arrays
+
+
+class TestCacheKey:
+    def test_order_independent(self):
+        assert cache_key(a=1, b="x") == cache_key(b="x", a=1)
+
+    def test_value_sensitive(self):
+        assert cache_key(a=1) != cache_key(a=2)
+
+    def test_rejects_non_scalars(self):
+        with pytest.raises(TraceError):
+            cache_key(a=[1, 2])
+
+    def test_none_allowed(self):
+        assert cache_key(a=None) != cache_key(a=0)
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        arrays = {"x": np.arange(10), "y": np.ones(3)}
+        key = cache_key(test="roundtrip")
+        save_arrays(key, arrays, cache_dir=tmp_path)
+        loaded = load_arrays(key, cache_dir=tmp_path)
+        assert loaded is not None
+        assert np.array_equal(loaded["x"], arrays["x"])
+        assert np.array_equal(loaded["y"], arrays["y"])
+
+    def test_missing_returns_none(self, tmp_path):
+        assert load_arrays("nope", cache_dir=tmp_path) is None
+
+    def test_corrupt_entry_is_miss_and_removed(self, tmp_path):
+        key = cache_key(test="corrupt")
+        path = tmp_path / f"{key}.npz"
+        path.write_bytes(b"not an npz file")
+        assert load_arrays(key, cache_dir=tmp_path) is None
+        assert not path.exists()
+
+    def test_overwrite(self, tmp_path):
+        key = cache_key(test="overwrite")
+        save_arrays(key, {"x": np.array([1])}, cache_dir=tmp_path)
+        save_arrays(key, {"x": np.array([2])}, cache_dir=tmp_path)
+        loaded = load_arrays(key, cache_dir=tmp_path)
+        assert loaded["x"].tolist() == [2]

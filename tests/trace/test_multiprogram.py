@@ -1,0 +1,89 @@
+"""Multiprogram interleaving tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.trace.multiprogram import (
+    address_space_offset,
+    interleave_chunks,
+    multiprogram_quanta,
+)
+
+
+class TestQuanta:
+    def test_equal_share(self):
+        assert multiprogram_quanta([100, 200], switches=10) == [10, 20]
+
+    def test_rounds_up(self):
+        assert multiprogram_quanta([105], switches=10) == [11]
+
+    def test_minimum_one(self):
+        assert multiprogram_quanta([3], switches=10) == [1]
+
+    def test_bad_switches(self):
+        with pytest.raises(TraceError):
+            multiprogram_quanta([10], switches=0)
+
+
+class TestInterleave:
+    def test_round_robin_order(self):
+        a = np.array([1, 2, 3, 4])
+        b = np.array([10, 20, 30, 40])
+        out = interleave_chunks([a, b], [2, 2])
+        assert out.tolist() == [1, 2, 10, 20, 3, 4, 30, 40]
+
+    def test_uneven_lengths(self):
+        a = np.array([1, 2, 3, 4, 5])
+        b = np.array([10])
+        out = interleave_chunks([a, b], [2, 1])
+        assert out.tolist() == [1, 2, 10, 3, 4, 5]
+
+    def test_empty_inputs(self):
+        assert len(interleave_chunks([], [])) == 0
+
+    def test_mismatched_args(self):
+        with pytest.raises(TraceError):
+            interleave_chunks([np.array([1])], [1, 2])
+
+    def test_nonpositive_chunk(self):
+        with pytest.raises(TraceError):
+            interleave_chunks([np.array([1])], [0])
+
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=1000), min_size=0, max_size=50),
+            min_size=1,
+            max_size=5,
+        ),
+        st.integers(min_value=1, max_value=7),
+    )
+    def test_preserves_multiset_and_per_source_order(self, data, switches):
+        arrays = [np.array(row, dtype=np.int64) for row in data]
+        # Tag elements with their source so order can be checked.
+        tagged = [
+            np.array([(i << 32) | (j + 1) for j in range(len(row))], dtype=np.int64)
+            for i, row in enumerate(data)
+        ]
+        quanta = multiprogram_quanta([max(1, len(a)) for a in arrays], switches)
+        out = interleave_chunks(tagged, quanta)
+        assert len(out) == sum(len(a) for a in tagged)
+        for i in range(len(arrays)):
+            ours = [v & 0xFFFFFFFF for v in out if (v >> 32) == i]
+            assert ours == sorted(ours)
+
+
+class TestAddressSpaceOffset:
+    def test_distinct(self):
+        offsets = {address_space_offset(i) for i in range(16)}
+        assert len(offsets) == 16
+
+    def test_high_bits_only(self):
+        # Offsets must not change cache-index bits for any realistic cache.
+        assert address_space_offset(5) % (1 << 30) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(TraceError):
+            address_space_offset(-1)

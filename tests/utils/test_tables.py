@@ -1,0 +1,48 @@
+"""ASCII table renderer tests."""
+
+import pytest
+
+from repro.utils.tables import render_series, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(["name", "x"], [["a", 1], ["bb", 2]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name | x")
+        assert "--" in lines[2]
+        assert lines[3].startswith("a")
+
+    def test_float_precision(self):
+        text = render_table(["v"], [[1.23456]], precision=2)
+        assert "1.23" in text
+        assert "1.235" not in text
+
+    def test_none_renders_dash(self):
+        text = render_table(["v"], [[None]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_no_trailing_whitespace(self):
+        text = render_table(["a", "bbbb"], [["x", "y"], ["long", "z"]])
+        assert all(line == line.rstrip() for line in text.splitlines())
+
+
+class TestRenderSeries:
+    def test_series_columns(self):
+        text = render_series("size", [1, 2], {"b=0": [1.0, 2.0], "b=1": [3.0, 4.0]})
+        header = text.splitlines()[0]
+        assert "size" in header and "b=0" in header and "b=1" in header
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            render_series("x", [1, 2], {"s": [1.0]})
+
+    def test_row_count(self):
+        text = render_series("x", [1, 2, 3], {"s": [1.0, 2.0, 3.0]})
+        # header + separator + 3 data rows
+        assert len(text.splitlines()) == 5

@@ -1,0 +1,86 @@
+"""Data-reference model tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload import DataReferenceModel, benchmark_by_name
+from repro.workload.memory import _GLOBAL_BASE, _HEAP_BASE, _STACK_BASE
+
+
+@pytest.fixture(scope="module")
+def gcc_model():
+    return DataReferenceModel(benchmark_by_name("gcc"), seed=3)
+
+
+class TestGeneration:
+    def test_word_aligned(self, gcc_model):
+        addresses = gcc_model.generate(10_000)
+        assert (addresses % 4 == 0).all()
+
+    def test_count(self, gcc_model):
+        assert len(gcc_model.generate(1234)) == 1234
+
+    def test_zero_count(self, gcc_model):
+        assert len(gcc_model.generate(0)) == 0
+
+    def test_negative_count_rejected(self, gcc_model):
+        with pytest.raises(WorkloadError):
+            gcc_model.generate(-1)
+
+    def test_deterministic(self):
+        spec = benchmark_by_name("tex")
+        a = DataReferenceModel(spec, seed=5).generate(5000)
+        b = DataReferenceModel(spec, seed=5).generate(5000)
+        assert np.array_equal(a, b)
+
+    def test_stateful_continuation(self):
+        spec = benchmark_by_name("tex")
+        whole = DataReferenceModel(spec, seed=5).generate(5000)
+        model = DataReferenceModel(spec, seed=5)
+        parts = np.concatenate([model.generate(2500), model.generate(2500)])
+        # Same RNG consumption order is not guaranteed across chunkings,
+        # but the distributional footprint must be similar.
+        assert abs(len(np.unique(whole)) - len(np.unique(parts))) < 1500
+
+    def test_segments_present(self, gcc_model):
+        addresses = gcc_model.generate(50_000)
+        in_global = (addresses >= _GLOBAL_BASE) & (addresses < _GLOBAL_BASE + (1 << 20))
+        in_heap = (addresses >= _HEAP_BASE) & (addresses < _HEAP_BASE + (1 << 30))
+        in_stack = addresses > _STACK_BASE - (1 << 24)
+        assert in_global.sum() > 0
+        assert in_heap.sum() > 0
+        assert in_stack.sum() > 0
+        assert (in_global | in_heap | in_stack).all()
+
+    def test_segment_fractions(self, gcc_model):
+        spec = benchmark_by_name("gcc")
+        addresses = gcc_model.generate(100_000)
+        in_global = (addresses >= _GLOBAL_BASE) & (addresses < _HEAP_BASE)
+        assert in_global.mean() == pytest.approx(spec.memory.global_frac, abs=0.02)
+
+
+class TestLocality:
+    def test_reuse_skew_concentrates_references(self):
+        # Hot words should take a large share: top 1 % of distinct words
+        # should cover a disproportionate share of non-stream references.
+        spec = benchmark_by_name("wolf33")  # reuse-heavy integer code
+        addresses = DataReferenceModel(spec, seed=9).generate(200_000)
+        values, counts = np.unique(addresses, return_counts=True)
+        counts.sort()
+        top = counts[-max(1, len(counts) // 100):].sum()
+        assert top / counts.sum() > 0.10
+
+    def test_streaming_touches_many_distinct_words(self):
+        stream_heavy = benchmark_by_name("matrix500")
+        pointer_heavy = benchmark_by_name("wolf33")
+        a = DataReferenceModel(stream_heavy, seed=9).generate(100_000)
+        b = DataReferenceModel(pointer_heavy, seed=9).generate(100_000)
+        assert len(np.unique(a)) > len(np.unique(b))
+
+    def test_working_set_bounds_heap(self):
+        spec = benchmark_by_name("small")  # 8 KW working set
+        addresses = DataReferenceModel(spec, seed=9).generate(100_000)
+        heap = addresses[(addresses >= _HEAP_BASE) & (addresses < _STACK_BASE - (1 << 24))]
+        span_words = (heap.max() - heap.min()) // 4
+        assert span_words <= 8 * 1024
