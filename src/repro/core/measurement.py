@@ -8,21 +8,29 @@ count, so suite aggregates carry the paper's execution-time weighting),
 and interleaves the per-benchmark streams with a context-switch quantum in
 distinct address spaces.
 
-The object memoizes aggressively: a full experiment run touches the same
-streams dozens of times.  Traces are additionally cached on disk (see
-:mod:`repro.trace.io`) because synthesizing and walking 16 programs is
-the most expensive step of a session.
+A full experiment run touches the same streams dozens of times, so every
+derived artifact flows through a content-addressed
+:class:`~repro.engine.store.ArtifactStore`: reference streams, miss
+counts, and branch statistics live in the store's memory tier; execution
+traces — the most expensive artifact of a session — are additionally
+persisted to its disk tier, which is also what lets parallel sweep
+workers rehydrate a session without re-synthesizing it.  When the
+session's :class:`~repro.engine.executor.SweepExecutor` is parallel,
+per-benchmark trace synthesis is fanned out across worker processes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.branchpred import BranchTargetBuffer, BTBStats, cti_stream
+from repro.engine.executor import SweepExecutor, synthesize_trace_arrays
+from repro.engine.session import MeasurementSpec
+from repro.engine.store import ArtifactStore
 from repro.errors import ConfigurationError
 from repro.sched import (
     BranchDelayStats,
@@ -36,14 +44,13 @@ from repro.cache.fastsim import addresses_to_blocks, direct_mapped_misses
 from repro.trace import execute_program
 from repro.trace.executor import ExecutionTrace
 from repro.trace.compiled import CompiledProgram
-from repro.trace.io import cache_key, load_arrays, save_arrays
 from repro.trace.multiprogram import (
     address_space_offset,
     interleave_chunks,
     multiprogram_quanta,
 )
 from repro.utils.rng import DEFAULT_SEED
-from repro.utils.units import WORD_BYTES, kw_to_words, log2_int
+from repro.utils.units import WORD_BYTES, is_power_of_two, kw_to_words, log2_int
 from repro.workload import (
     BenchmarkSpec,
     DataReferenceModel,
@@ -51,10 +58,22 @@ from repro.workload import (
     synthesize_program,
 )
 
-__all__ = ["SuiteMeasurement"]
+__all__ = ["SuiteMeasurement", "GENERATOR_VERSION"]
 
 #: Bump to invalidate cached traces when the generator changes behaviour.
 GENERATOR_VERSION = 5
+
+
+def _trace_arrays_valid(arrays: Mapping[str, np.ndarray]) -> bool:
+    """A persisted trace bundle must be complete and non-empty."""
+    try:
+        return (
+            len(arrays["block_ids"]) > 0
+            and len(arrays["went_taken"]) == len(arrays["block_ids"])
+            and len(arrays["restarts"]) == 1
+        )
+    except (KeyError, TypeError, IndexError):
+        return False
 
 
 @dataclass
@@ -90,7 +109,13 @@ class SuiteMeasurement:
         min_benchmark_instructions: Floor per benchmark, so tiny
             benchmarks (linpack: 4 M of 2556 M) still contribute
             statistically meaningful traces.
-        use_disk_cache: Cache traces under the repro trace cache dir.
+        use_disk_cache: Persist traces to the artifact store's disk tier
+            (ignored when an explicit ``store`` is supplied).
+        store: The artifact store holding every derived artifact of this
+            session (default: a fresh store honouring ``use_disk_cache``).
+        executor: Sweep executor used to fan out per-benchmark trace
+            synthesis, and the default executor for optimizers built on
+            this session (default: serial).
     """
 
     def __init__(
@@ -101,6 +126,8 @@ class SuiteMeasurement:
         quantum_instructions: int = 25_000,
         min_benchmark_instructions: int = 20_000,
         use_disk_cache: bool = True,
+        store: Optional[ArtifactStore] = None,
+        executor: Optional[SweepExecutor] = None,
     ) -> None:
         if total_instructions <= 0:
             raise ConfigurationError("total_instructions must be positive")
@@ -111,9 +138,13 @@ class SuiteMeasurement:
             raise ConfigurationError("need at least one benchmark")
         self.seed = seed
         self.total_instructions = total_instructions
+        self.quantum_instructions = quantum_instructions
+        self.min_benchmark_instructions = min_benchmark_instructions
         mean_budget = total_instructions / len(self.specs)
         self.switches = max(1, round(mean_budget / quantum_instructions))
         self._use_disk_cache = use_disk_cache
+        self.store = store if store is not None else ArtifactStore(use_disk=use_disk_cache)
+        self.executor = executor if executor is not None else SweepExecutor()
 
         total_weight = sum(spec.weight for spec in self.specs)
         self._budgets = [
@@ -124,48 +155,90 @@ class SuiteMeasurement:
             for spec in self.specs
         ]
         self._benchmarks: Optional[List[_Benchmark]] = None
-        self._istream_cache: Dict[Tuple[int, int], np.ndarray] = {}
-        self._dstream_cache: Dict[int, np.ndarray] = {}
-        self._imiss_cache: Dict[Tuple[int, int, int], int] = {}
-        self._dmiss_cache: Dict[Tuple[int, int], int] = {}
-        self._branch_stats_cache: Dict[int, BranchDelayStats] = {}
+
+    def spec(self) -> MeasurementSpec:
+        """A picklable description from which workers rebuild this session."""
+        return MeasurementSpec(
+            specs=tuple(self.specs),
+            total_instructions=self.total_instructions,
+            seed=self.seed,
+            quantum_instructions=self.quantum_instructions,
+            min_benchmark_instructions=self.min_benchmark_instructions,
+            use_disk_cache=self._use_disk_cache,
+        )
 
     # -- construction --------------------------------------------------------
 
+    def _trace_params(self, spec: BenchmarkSpec, budget: int) -> Dict[str, object]:
+        return dict(bench=spec.name, budget=budget, seed=self.seed)
+
     def _load_or_run_trace(self, spec: BenchmarkSpec, budget: int) -> ExecutionTrace:
         compiled = CompiledProgram(synthesize_program(spec, seed=self.seed))
-        key = cache_key(
-            kind="trace",
-            version=GENERATOR_VERSION,
-            bench=spec.name,
-            budget=budget,
-            seed=self.seed,
+
+        def run_trace() -> Dict[str, np.ndarray]:
+            trace = execute_program(compiled.program, budget, seed=self.seed)
+            return {
+                "block_ids": trace.block_ids,
+                "went_taken": trace.went_taken,
+                "restarts": np.array([trace.restarts]),
+            }
+
+        arrays = self.store.get_or_create(
+            "trace",
+            GENERATOR_VERSION,
+            run_trace,
+            persist=True,
+            validate=_trace_arrays_valid,
+            **self._trace_params(spec, budget),
         )
-        if self._use_disk_cache:
-            cached = load_arrays(key)
-            if cached is not None and len(cached.get("block_ids", ())) > 0:
-                return ExecutionTrace(
-                    compiled=compiled,
-                    block_ids=cached["block_ids"].astype(np.int32),
-                    went_taken=cached["went_taken"].astype(np.int8),
-                    restarts=int(cached["restarts"][0]),
-                )
-        trace = execute_program(compiled.program, budget, seed=self.seed)
-        if self._use_disk_cache:
-            save_arrays(
-                key,
-                {
-                    "block_ids": trace.block_ids,
-                    "went_taken": trace.went_taken,
-                    "restarts": np.array([trace.restarts]),
-                },
+        return ExecutionTrace(
+            compiled=compiled,
+            block_ids=arrays["block_ids"].astype(np.int32),
+            went_taken=arrays["went_taken"].astype(np.int8),
+            restarts=int(arrays["restarts"][0]),
+        )
+
+    def _prefetch_traces(self) -> None:
+        """Fan missing trace synthesis out across the sweep executor.
+
+        Workers return each trace's array bundle; the parent persists
+        them through the store, after which the per-benchmark build below
+        is pure cache hits.  Requires the parallel backend and more than
+        one missing benchmark to be worth a pool.
+        """
+        missing = [
+            (spec, budget)
+            for spec, budget in zip(self.specs, self._budgets)
+            if self.store.peek(
+                "trace",
+                GENERATOR_VERSION,
+                persist=True,
+                validate=_trace_arrays_valid,
+                **self._trace_params(spec, budget),
             )
-        return trace
+            is None
+        ]
+        if len(missing) < 2:
+            return
+        bundles = self.executor.map(
+            synthesize_trace_arrays,
+            [(spec, budget, self.seed) for spec, budget in missing],
+        )
+        for (spec, budget), arrays in zip(missing, bundles):
+            self.store.put(
+                "trace",
+                GENERATOR_VERSION,
+                arrays,
+                persist=self._use_disk_cache,
+                **self._trace_params(spec, budget),
+            )
 
     @property
     def benchmarks(self) -> List[_Benchmark]:
         """Per-benchmark artifacts, built lazily on first use."""
         if self._benchmarks is None:
+            if self.executor.is_parallel:
+                self._prefetch_traces()
             built = []
             for index, (spec, budget) in enumerate(zip(self.specs, self._budgets)):
                 trace = self._load_or_run_trace(spec, budget)
@@ -215,12 +288,13 @@ class SuiteMeasurement:
 
     def branch_stats(self, slots: int) -> BranchDelayStats:
         """Aggregated static-scheme branch statistics (Table 3)."""
-        if slots not in self._branch_stats_cache:
+
+        def aggregate() -> BranchDelayStats:
             parts = [
                 branch_delay_stats(b.trace, b.translation(slots))
                 for b in self.benchmarks
             ]
-            self._branch_stats_cache[slots] = BranchDelayStats(
+            return BranchDelayStats(
                 slots=slots,
                 cti_count=sum(p.cti_count for p in parts),
                 wasted_cycles=sum(p.wasted_cycles for p in parts),
@@ -232,7 +306,10 @@ class SuiteMeasurement:
                     p.predicted_not_taken_correct for p in parts
                 ),
             )
-        return self._branch_stats_cache[slots]
+
+        return self.store.get_or_create(
+            "branch_stats", GENERATOR_VERSION, aggregate, slots=slots
+        )
 
     @cached_property
     def btb_stats(self) -> BTBStats:
@@ -273,8 +350,8 @@ class SuiteMeasurement:
 
     def istream_blocks(self, slots: int, block_words: int) -> np.ndarray:
         """Multiprogrammed instruction stream at cache-block granularity."""
-        key = (slots, block_words)
-        if key not in self._istream_cache:
+
+        def build() -> np.ndarray:
             shift = log2_int(block_words * WORD_BYTES)
             sequences = []
             for bench in self.benchmarks:
@@ -283,13 +360,16 @@ class SuiteMeasurement:
                 blocks = blocks + (address_space_offset(bench.index) >> shift)
                 sequences.append(blocks)
             quanta = multiprogram_quanta([len(s) for s in sequences], self.switches)
-            self._istream_cache[key] = interleave_chunks(sequences, quanta)
-        return self._istream_cache[key]
+            return interleave_chunks(sequences, quanta)
+
+        return self.store.get_or_create(
+            "istream", GENERATOR_VERSION, build, slots=slots, block_words=block_words
+        )
 
     def dstream_blocks(self, block_words: int) -> np.ndarray:
         """Multiprogrammed data stream at cache-block granularity."""
-        if block_words not in self._dstream_cache:
-            shift = log2_int(block_words * WORD_BYTES)
+
+        def build() -> np.ndarray:
             sequences = []
             for bench in self.benchmarks:
                 refs = (
@@ -300,28 +380,53 @@ class SuiteMeasurement:
                 addresses = model.generate(refs) + address_space_offset(bench.index)
                 sequences.append(addresses_to_blocks(addresses, block_words))
             quanta = multiprogram_quanta([len(s) for s in sequences], self.switches)
-            self._dstream_cache[block_words] = interleave_chunks(sequences, quanta)
-        return self._dstream_cache[block_words]
+            return interleave_chunks(sequences, quanta)
+
+        return self.store.get_or_create(
+            "dstream", GENERATOR_VERSION, build, block_words=block_words
+        )
 
     # -- miss counts -------------------------------------------------------------
 
+    def _derived_sets(self, side: str, block_words: int, size_kw: float) -> int:
+        """Set count of a direct-mapped side, validated before simulation.
+
+        ``size // block`` silently yields 0 or a non-power-of-two for odd
+        geometries, which would corrupt indexing downstream — reject the
+        configuration instead.
+        """
+        words = kw_to_words(size_kw)
+        sets = words // block_words
+        if words % block_words != 0 or sets <= 0 or not is_power_of_two(sets):
+            raise ConfigurationError(
+                f"invalid L1-{side} geometry: {size_kw:g} KW with "
+                f"{block_words}-word blocks gives {sets} sets "
+                f"(need a positive power of two)"
+            )
+        return sets
+
     def icache_misses(self, slots: int, block_words: int, size_kw: float) -> int:
         """L1-I misses for one configuration over the whole session."""
-        sets = kw_to_words(size_kw) // block_words
-        key = (slots, block_words, sets)
-        if key not in self._imiss_cache:
-            blocks = self.istream_blocks(slots, block_words)
-            self._imiss_cache[key] = direct_mapped_misses(blocks, sets)
-        return self._imiss_cache[key]
+        sets = self._derived_sets("I", block_words, size_kw)
+        return self.store.get_or_create(
+            "imiss",
+            GENERATOR_VERSION,
+            lambda: direct_mapped_misses(self.istream_blocks(slots, block_words), sets),
+            slots=slots,
+            block_words=block_words,
+            sets=sets,
+        )
 
     def dcache_misses(self, block_words: int, size_kw: float) -> int:
         """L1-D misses for one configuration over the whole session."""
-        sets = kw_to_words(size_kw) // block_words
-        key = (block_words, sets)
-        if key not in self._dmiss_cache:
-            blocks = self.dstream_blocks(block_words)
-            self._dmiss_cache[key] = direct_mapped_misses(blocks, sets)
-        return self._dmiss_cache[key]
+        sets = self._derived_sets("D", block_words, size_kw)
+        return self.store.get_or_create(
+            "dmiss",
+            GENERATOR_VERSION,
+            lambda: direct_mapped_misses(self.dstream_blocks(block_words), sets),
+            block_words=block_words,
+            sets=sets,
+        )
 
     # -- reporting ---------------------------------------------------------------
 

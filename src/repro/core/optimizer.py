@@ -4,25 +4,49 @@
 delay-slot counts, cache sizes (symmetric or asymmetric splits), penalty,
 and schemes — and returns the optimum, reproducing the search behind
 Figures 12 and 13.
+
+Evaluated points are content-addressed artifacts in the session's
+:class:`~repro.engine.store.ArtifactStore`, so re-visiting a
+configuration (the figures sweep overlapping grids) is a cache hit.  On
+a parallel :class:`~repro.engine.executor.SweepExecutor`, :meth:`
+DesignOptimizer.sweep` fans the not-yet-cached points out across worker
+processes in deterministic chunks; workers rehydrate the measurement
+session from its picklable spec plus the disk store (or inherit the live
+session for free on fork platforms).  Results are identical to the
+serial backend, in the same order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Iterable, List, Optional, Sequence, Tuple
+import enum
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, Iterable, List, Sequence, Tuple
 
-from repro.core.config import BranchScheme, LoadScheme, SystemConfig
+from repro.core.config import SystemConfig
 from repro.core.cpi_model import CpiModel
 from repro.core.measurement import SuiteMeasurement
 from repro.core.tcpu import system_cycle_time_ns
 from repro.core.tpi import tpi_ns
+from repro.engine.executor import SweepExecutor, evaluate_design_point
 from repro.errors import ConfigurationError
 from repro.timing.technology import DEFAULT_TECHNOLOGY, Technology
+from repro.trace.io import cache_key
 
 __all__ = ["DesignPoint", "DesignOptimizer"]
 
 #: Per-side cache sizes the paper sweeps (KW).
 PAPER_SIDE_SIZES_KW = (1, 2, 4, 8, 16, 32)
+
+#: Bump when DesignPoint evaluation changes behaviour (cache invalidation).
+DESIGN_POINT_VERSION = 1
+
+
+def _config_params(config: SystemConfig) -> Dict[str, object]:
+    """A SystemConfig as scalar artifact-key parameters (enums to values)."""
+    return {
+        name: value.value if isinstance(value, enum.Enum) else value
+        for name, value in asdict(config).items()
+    }
 
 
 @dataclass(frozen=True)
@@ -39,24 +63,87 @@ class DesignPoint:
 
 
 class DesignOptimizer:
-    """Evaluates and optimizes TPI over a design space."""
+    """Evaluates and optimizes TPI over a design space.
+
+    Args:
+        measurement: The session supplying every measured CPI component.
+        tech: Technology parameters for the cycle-time model.
+        executor: Sweep backend (default: the session's executor, so a
+            ``--jobs N`` CLI flag propagates here without plumbing).
+    """
 
     def __init__(
         self,
         measurement: SuiteMeasurement,
         tech: Technology = DEFAULT_TECHNOLOGY,
+        executor: "SweepExecutor | None" = None,
     ) -> None:
+        self.measurement = measurement
         self.model = CpiModel(measurement)
         self.tech = tech
+        self.executor = executor if executor is not None else measurement.executor
+        self._tech_digest = cache_key(**asdict(tech))
 
-    def evaluate(self, config: SystemConfig) -> DesignPoint:
-        """TPI of a single design point (CPI x system cycle time)."""
+    def _evaluate_uncached(self, config: SystemConfig) -> DesignPoint:
         cycle = system_cycle_time_ns(config, self.tech)
         cpi = self.model.cpi(config, cycle_time_ns=cycle)
         return DesignPoint(config=config, cpi=cpi, cycle_time_ns=cycle)
 
+    def evaluate(self, config: SystemConfig) -> DesignPoint:
+        """TPI of a single design point (CPI x system cycle time)."""
+        return self.measurement.store.get_or_create(
+            "design_point",
+            DESIGN_POINT_VERSION,
+            lambda: self._evaluate_uncached(config),
+            tech=self._tech_digest,
+            **_config_params(config),
+        )
+
+    def _prefill_parallel(self, configs: Sequence[SystemConfig]) -> None:
+        """Evaluate not-yet-cached points on the worker pool.
+
+        Workers return finished :class:`DesignPoint` values which are
+        stored under the same artifact keys the serial path uses, so the
+        ordered assembly afterwards is pure cache hits either way.
+        """
+        store = self.measurement.store
+        seen = set()
+        missing = []
+        for config in configs:
+            if config in seen:
+                continue
+            seen.add(config)
+            cached = store.peek(
+                "design_point",
+                DESIGN_POINT_VERSION,
+                tech=self._tech_digest,
+                **_config_params(config),
+            )
+            if cached is None:
+                missing.append(config)
+        # A pool dispatch only pays off with at least one chunk per worker.
+        if len(missing) < max(2, self.executor.jobs):
+            return
+        spec = self.measurement.spec()
+        self.executor.prime(spec.digest(), self.measurement)
+        points = self.executor.map(
+            evaluate_design_point,
+            [(spec, self.tech, config) for config in missing],
+        )
+        for config, point in zip(missing, points):
+            store.put(
+                "design_point",
+                DESIGN_POINT_VERSION,
+                point,
+                tech=self._tech_digest,
+                **_config_params(config),
+            )
+
     def sweep(self, configs: Iterable[SystemConfig]) -> List[DesignPoint]:
         """Evaluate many configurations (in input order)."""
+        configs = list(configs)
+        if self.executor.is_parallel:
+            self._prefill_parallel(configs)
         return [self.evaluate(config) for config in configs]
 
     def symmetric_grid(

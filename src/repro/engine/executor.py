@@ -1,0 +1,226 @@
+"""Parallel sweep execution over design points and benchmark traces.
+
+:class:`SweepExecutor` maps a picklable function over a list of items
+with deterministic, input-ordered results, on one of two backends:
+
+* ``serial`` — a plain in-process loop (the default, and the reference
+  behaviour every other backend must reproduce exactly);
+* ``process`` — a ``ProcessPoolExecutor`` with chunked dispatch.
+
+Worker-side sessions
+--------------------
+
+Sweep workers need a full measurement session to evaluate a design
+point.  Shipping the session itself per task would be prohibitive, so
+workers *rehydrate*: each task carries the session's
+:class:`~repro.engine.session.MeasurementSpec`, and the worker builds the
+session once per process (module-level cache), pulling traces from the
+shared on-disk :class:`~repro.engine.store.ArtifactStore` tier instead of
+re-synthesizing them.
+
+On fork-based platforms there is a faster path: the parent *primes* the
+executor with its live (already warm) session before the pool is
+created, so forked workers inherit every memoized stream and miss count
+through copy-on-write memory instead of rebuilding anything.  On spawn
+platforms the primed object is simply not visible and workers fall back
+to rehydration — both paths produce identical results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SweepExecutor", "BACKENDS"]
+
+BACKENDS = ("serial", "process")
+
+#: Live objects forked workers inherit via copy-on-write, keyed by spec
+#: digest.  Populated in the parent by :meth:`SweepExecutor.prime` before
+#: pool creation; empty (and therefore inert) in spawned workers.
+_FORK_INHERITED: Dict[str, Any] = {}
+
+#: Sessions a worker process has rebuilt from their specs, so one worker
+#: rehydrates at most once per distinct session.
+_WORKER_SESSIONS: Dict[str, Any] = {}
+
+
+class SweepExecutor:
+    """Order-preserving map over sweep items, serial or multi-process.
+
+    Args:
+        jobs: Worker process count; 1 selects the serial backend unless
+            ``backend`` says otherwise.
+        backend: ``"serial"`` or ``"process"`` (default: serial for
+            ``jobs == 1``, process otherwise).
+        chunk_size: Items per dispatched chunk (default: balanced so each
+            worker receives about four chunks).
+        start_method: Optional multiprocessing start method override
+            (``"fork"``, ``"spawn"``, ``"forkserver"``), mainly for tests.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        backend: Optional[str] = None,
+        chunk_size: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        jobs = int(jobs)
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be at least 1, got {jobs}")
+        if backend is None:
+            backend = "serial" if jobs == 1 else "process"
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown sweep backend {backend!r}; choose from {BACKENDS}"
+            )
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError("chunk_size must be at least 1")
+        self.jobs = 1 if backend == "serial" else jobs
+        self.backend = backend
+        self.chunk_size = chunk_size
+        self._start_method = start_method
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- properties ------------------------------------------------------------
+
+    @property
+    def is_serial(self) -> bool:
+        return self.backend == "serial"
+
+    @property
+    def is_parallel(self) -> bool:
+        return self.backend == "process"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SweepExecutor(jobs={self.jobs}, backend={self.backend!r})"
+
+    # -- mapping ---------------------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        chunk_size: Optional[int] = None,
+    ) -> List[Any]:
+        """Apply ``fn`` to every item; results are in input order.
+
+        On the process backend ``fn`` and every item must be picklable;
+        dispatch is chunked so per-task IPC overhead amortizes.
+        """
+        items = list(items)
+        if self.is_serial or len(items) <= 1:
+            return [fn(item) for item in items]
+        chunk = chunk_size or self.chunk_size or self._default_chunk(len(items))
+        pool = self._ensure_pool()
+        return list(pool.map(fn, items, chunksize=chunk))
+
+    def _default_chunk(self, count: int) -> int:
+        return max(1, -(-count // (self.jobs * 4)))  # ceil
+
+    # -- fork-time state inheritance -------------------------------------------
+
+    def prime(self, digest: str, session: Any) -> None:
+        """Make a live session inheritable by workers forked later.
+
+        If the pool already exists (its workers were forked before this
+        state existed) it is retired so the next :meth:`map` re-forks
+        with the session visible.  A no-op for already-primed sessions.
+        """
+        if _FORK_INHERITED.get(digest) is session:
+            return
+        _FORK_INHERITED[digest] = session
+        self._shutdown_pool()
+
+    # -- pool lifecycle --------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            context = (
+                multiprocessing.get_context(self._start_method)
+                if self._start_method
+                else None
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=context
+            )
+        return self._pool
+
+    def _shutdown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def shutdown(self) -> None:
+        """Release worker processes (the executor stays usable)."""
+        self._shutdown_pool()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self._shutdown_pool()
+        except Exception:
+            pass
+
+
+# -- worker-side helpers ---------------------------------------------------
+#
+# These run inside pool workers, so they must be importable at module
+# level and must import the heavier repro layers lazily: this module is
+# imported by repro.core.measurement, and importing core back at module
+# level would be circular.
+
+
+def session_for_spec(spec: Any) -> Any:
+    """The worker's measurement session for a spec: inherited or rebuilt.
+
+    Resolution order: a fork-inherited live session (free, already
+    warm), then this worker's session cache, then a fresh build that
+    rehydrates traces from the disk artifact store.
+    """
+    digest = spec.digest()
+    session = _FORK_INHERITED.get(digest)
+    if session is None:
+        session = _WORKER_SESSIONS.get(digest)
+        if session is None:
+            session = spec.build()
+            _WORKER_SESSIONS[digest] = session
+    if session.executor.is_parallel:
+        # An inherited session carries the parent's parallel executor;
+        # a worker must never fan out a nested pool of its own.
+        session.executor = SweepExecutor(jobs=1)
+    return session
+
+
+def evaluate_design_point(item: Tuple[Any, Any, Any]) -> Any:
+    """Worker task: evaluate one ``SystemConfig`` against a session spec."""
+    spec, tech, config = item
+    from repro.core.optimizer import DesignOptimizer
+
+    measurement = session_for_spec(spec)
+    optimizer = DesignOptimizer(
+        measurement, tech=tech, executor=SweepExecutor(jobs=1)
+    )
+    return optimizer.evaluate(config)
+
+
+def synthesize_trace_arrays(item: Tuple[Any, int, int]) -> Dict[str, np.ndarray]:
+    """Worker task: synthesize + execute one benchmark, returning the
+    trace's array bundle (the persistent-artifact representation)."""
+    spec, budget, seed = item
+    from repro.trace import execute_program
+    from repro.trace.compiled import CompiledProgram
+    from repro.workload import synthesize_program
+
+    compiled = CompiledProgram(synthesize_program(spec, seed=seed))
+    trace = execute_program(compiled.program, budget, seed=seed)
+    return {
+        "block_ids": trace.block_ids,
+        "went_taken": trace.went_taken,
+        "restarts": np.array([trace.restarts]),
+    }

@@ -1,0 +1,147 @@
+"""Explicit measurement-session management.
+
+Two pieces:
+
+* :class:`MeasurementSpec` — a small picklable description of a
+  :class:`~repro.core.measurement.SuiteMeasurement` from which the
+  session can be rebuilt anywhere (most importantly inside sweep worker
+  processes, which rehydrate traces from the shared disk store instead
+  of re-synthesizing them);
+* :class:`SessionRegistry` — a per-instance replacement for the old
+  module-global session dict in ``repro.experiments.common``.  The CLI
+  and long-lived callers share one default registry; tests construct
+  isolated registries (or inject prebuilt sessions) without touching
+  process-global state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.engine.executor import SweepExecutor
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "EXPERIMENT_SCALES",
+    "MeasurementSpec",
+    "SessionRegistry",
+    "DEFAULT_REGISTRY",
+]
+
+#: Total canonical instructions per scale.  ``quick`` is for smoke runs
+#: and CI; ``full`` is the default experiment scale (about a minute of
+#: trace generation, cached on disk afterwards).
+EXPERIMENT_SCALES: Dict[str, int] = {
+    "quick": 400_000,
+    "full": 1_600_000,
+}
+
+
+@dataclass(frozen=True)
+class MeasurementSpec:
+    """Everything needed to rebuild a measurement session elsewhere.
+
+    The benchmark specs themselves are carried (they are plain dataclass
+    values), so custom suites round-trip, not just the Table 1 names.
+    The rebuilt session always uses a serial executor — workers must
+    never spawn nested pools.
+    """
+
+    specs: Tuple[Any, ...]
+    total_instructions: int
+    seed: int
+    quantum_instructions: int
+    min_benchmark_instructions: int
+    use_disk_cache: bool
+
+    def digest(self) -> str:
+        """Stable identity of the session this spec describes."""
+        return hashlib.sha256(repr(self).encode()).hexdigest()[:24]
+
+    def build(self) -> Any:
+        """Construct the session (rehydrating traces from the disk store)."""
+        from repro.core.measurement import SuiteMeasurement
+
+        return SuiteMeasurement(
+            specs=list(self.specs),
+            total_instructions=self.total_instructions,
+            seed=self.seed,
+            quantum_instructions=self.quantum_instructions,
+            min_benchmark_instructions=self.min_benchmark_instructions,
+            use_disk_cache=self.use_disk_cache,
+            executor=SweepExecutor(jobs=1),
+        )
+
+
+class SessionRegistry:
+    """Named measurement sessions, one per experiment scale.
+
+    Args:
+        scales: scale name -> total canonical instructions (default: the
+            standard ``quick``/``full`` table).
+    """
+
+    def __init__(self, scales: Optional[Dict[str, int]] = None) -> None:
+        self.scales: Dict[str, int] = dict(
+            scales if scales is not None else EXPERIMENT_SCALES
+        )
+        self._sessions: Dict[str, Any] = {}
+
+    def resolve_scale(self, scale: Optional[str] = None) -> str:
+        """Validate a scale name, defaulting to ``REPRO_SCALE`` then 'full'."""
+        if scale is None:
+            scale = os.environ.get("REPRO_SCALE", "full")
+        if scale not in self.scales:
+            raise ConfigurationError(
+                f"unknown scale {scale!r}; choose from {sorted(self.scales)}"
+            )
+        return scale
+
+    def get(self, scale: Optional[str] = None, jobs: Optional[int] = None) -> Any:
+        """The session for a scale, built on first use (memoized).
+
+        ``jobs`` configures the session's sweep executor; passing a new
+        value to an existing session swaps its executor in place so a CLI
+        flag applies even when the session was built earlier.
+        """
+        scale = self.resolve_scale(scale)
+        session = self._sessions.get(scale)
+        if session is None:
+            from repro.core.measurement import SuiteMeasurement
+
+            session = SuiteMeasurement(
+                total_instructions=self.scales[scale],
+                executor=SweepExecutor(jobs=jobs if jobs is not None else 1),
+            )
+            self._sessions[scale] = session
+        elif jobs is not None and session.executor.jobs != jobs:
+            session.executor.shutdown()
+            session.executor = SweepExecutor(jobs=jobs)
+        return session
+
+    def set(self, scale: str, session: Any) -> None:
+        """Inject a prebuilt session (tests; custom suites)."""
+        self._sessions[scale] = session
+
+    def discard(self, scale: str) -> None:
+        """Forget one scale's session, if present."""
+        self._sessions.pop(scale, None)
+
+    def clear(self) -> None:
+        """Forget every session."""
+        self._sessions.clear()
+
+    def __contains__(self, scale: str) -> bool:
+        return scale in self._sessions
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+
+#: The registry the CLI and ``repro.experiments.common.get_measurement``
+#: share by default.  Library code takes a ``registry`` argument instead
+#: of reaching for this directly.
+DEFAULT_REGISTRY = SessionRegistry()

@@ -1,0 +1,274 @@
+"""Content-addressed two-tier artifact store.
+
+Every derived artifact of a measurement session — execution traces,
+expanded reference streams, miss counts, prediction statistics, evaluated
+design points — is identified by a :class:`ArtifactKey`: a ``kind`` (what
+the artifact is), a ``version`` (bumped when the producing code changes
+behaviour), and the scalar parameters that determine its content.  The
+store keeps artifacts in two tiers:
+
+* an in-memory LRU tier holding any Python object, bounded by entry
+  count, which replaces the per-object memo dicts the measurement layer
+  used to hand-roll;
+* an optional on-disk tier (``.npz`` bundles via :mod:`repro.trace.io`)
+  for artifacts declared *persistent* — array bundles whose recomputation
+  is expensive enough to survive process boundaries (traces).  The disk
+  tier is what lets parallel sweep workers rehydrate a session without
+  re-synthesizing it.
+
+The store is purely an optimization: clearing either tier only costs
+recomputation time, never changes a result.  Hit/miss/eviction counters
+are kept per store and reported by :meth:`ArtifactStore.stats`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.trace.io import cache_key, delete_entry, load_arrays, save_arrays
+
+__all__ = ["ArtifactKey", "ArtifactStore", "StoreStats"]
+
+_SCALAR_TYPES = (str, int, float, bool)
+
+
+def _coerce_scalar(name: str, value: Any) -> Any:
+    """Normalize one key parameter to a plain JSON scalar (or None)."""
+    if value is None or isinstance(value, _SCALAR_TYPES):
+        return value
+    item = getattr(value, "item", None)  # numpy scalars
+    if callable(item):
+        value = item()
+        if isinstance(value, _SCALAR_TYPES):
+            return value
+    raise ConfigurationError(
+        f"artifact key parameter {name!r} is not a scalar: {value!r}"
+    )
+
+
+@dataclass(frozen=True)
+class ArtifactKey:
+    """Identity of one artifact: kind + code version + content parameters."""
+
+    kind: str
+    version: int
+    params: Tuple[Tuple[str, Any], ...]
+
+    @classmethod
+    def make(cls, kind: str, version: int, **params: Any) -> "ArtifactKey":
+        clean = {
+            name: _coerce_scalar(name, value) for name, value in params.items()
+        }
+        return cls(kind=kind, version=int(version), params=tuple(sorted(clean.items())))
+
+    @property
+    def digest(self) -> str:
+        """Stable content hash — the on-disk file stem."""
+        return cache_key(kind=self.kind, version=self.version, **dict(self.params))
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.params)
+        return f"{self.kind}@v{self.version}({inner})"
+
+
+@dataclass
+class StoreStats:
+    """Counter snapshot of one :class:`ArtifactStore`."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    disk_writes: int = 0
+    entries: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def report(self) -> str:
+        return (
+            f"artifact store: {self.entries} entries in memory, "
+            f"{self.memory_hits} memory hits, {self.disk_hits} disk hits, "
+            f"{self.misses} misses, {self.evictions} evictions, "
+            f"{self.disk_writes} disk writes "
+            f"(hit rate {100.0 * self.hit_rate:.1f}%)"
+        )
+
+    __str__ = report
+
+
+class ArtifactStore:
+    """Two-tier (memory LRU + disk) content-addressed artifact cache.
+
+    Args:
+        cache_dir: Disk-tier directory (default: :func:`repro.trace.io.
+            default_cache_dir`, i.e. ``REPRO_CACHE_DIR`` or a tmpdir).
+        memory_entries: LRU capacity of the in-memory tier.
+        use_disk: Master switch for the disk tier; when False, artifacts
+            requested with ``persist=True`` still live in memory only.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[Path] = None,
+        memory_entries: int = 1024,
+        use_disk: bool = True,
+    ) -> None:
+        if memory_entries < 1:
+            raise ConfigurationError("memory_entries must be at least 1")
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.memory_entries = memory_entries
+        self.use_disk = use_disk
+        self._memory: "OrderedDict[ArtifactKey, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._stats = StoreStats()
+
+    # -- lookup / insertion ----------------------------------------------------
+
+    def get_or_create(
+        self,
+        kind: str,
+        version: int,
+        factory: Callable[[], Any],
+        *,
+        persist: bool = False,
+        validate: Optional[Callable[[Any], bool]] = None,
+        **params: Any,
+    ) -> Any:
+        """The central API: return the artifact, creating it on a miss.
+
+        Lookup order is memory tier, then (for ``persist`` artifacts) the
+        disk tier, then ``factory()``.  A disk entry that fails
+        ``validate`` counts as a miss and is re-created — a truncated or
+        stale bundle can never fail an experiment.
+        """
+        key = ArtifactKey.make(kind, version, **params)
+        value = self._memory_get(key, count=True)
+        if value is not None:
+            return value
+        if persist and self.use_disk:
+            arrays = load_arrays(key.digest, cache_dir=self.cache_dir)
+            if arrays is not None and (validate is None or validate(arrays)):
+                with self._lock:
+                    self._stats.disk_hits += 1
+                self._remember(key, arrays)
+                return arrays
+        with self._lock:
+            self._stats.misses += 1
+        value = factory()
+        if validate is not None and not validate(value):
+            raise ConfigurationError(
+                f"factory for artifact {key} produced an invalid value"
+            )
+        self._insert(key, value, persist=persist)
+        return value
+
+    def put(
+        self,
+        kind: str,
+        version: int,
+        value: Any,
+        *,
+        persist: bool = False,
+        **params: Any,
+    ) -> ArtifactKey:
+        """Insert an artifact computed elsewhere (e.g. by a sweep worker)."""
+        key = ArtifactKey.make(kind, version, **params)
+        self._insert(key, value, persist=persist)
+        return key
+
+    def peek(
+        self,
+        kind: str,
+        version: int,
+        *,
+        persist: bool = False,
+        validate: Optional[Callable[[Any], bool]] = None,
+        **params: Any,
+    ) -> Optional[Any]:
+        """Non-creating lookup; returns None on a miss without counting it."""
+        key = ArtifactKey.make(kind, version, **params)
+        value = self._memory_get(key, count=False)
+        if value is not None:
+            return value
+        if persist and self.use_disk:
+            arrays = load_arrays(key.digest, cache_dir=self.cache_dir)
+            if arrays is not None and (validate is None or validate(arrays)):
+                self._remember(key, arrays)
+                return arrays
+        return None
+
+    def invalidate(self, kind: str, version: int, **params: Any) -> None:
+        """Drop one artifact from both tiers."""
+        key = ArtifactKey.make(kind, version, **params)
+        with self._lock:
+            self._memory.pop(key, None)
+        if self.use_disk:
+            delete_entry(key.digest, cache_dir=self.cache_dir)
+
+    # -- internals -------------------------------------------------------------
+
+    def _memory_get(self, key: ArtifactKey, count: bool) -> Optional[Any]:
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                if count:
+                    self._stats.memory_hits += 1
+                return self._memory[key]
+        return None
+
+    def _insert(self, key: ArtifactKey, value: Any, persist: bool) -> None:
+        if persist and self.use_disk:
+            if not isinstance(value, Mapping) or not all(
+                isinstance(v, np.ndarray) for v in value.values()
+            ):
+                raise ConfigurationError(
+                    f"persistent artifact {key} must be a mapping of numpy "
+                    f"arrays, got {type(value).__name__}"
+                )
+            save_arrays(key.digest, value, cache_dir=self.cache_dir)
+            with self._lock:
+                self._stats.disk_writes += 1
+        self._remember(key, value)
+
+    def _remember(self, key: ArtifactKey, value: Any) -> None:
+        with self._lock:
+            self._memory[key] = value
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.memory_entries:
+                self._memory.popitem(last=False)
+                self._stats.evictions += 1
+
+    # -- reporting -------------------------------------------------------------
+
+    def stats(self) -> StoreStats:
+        """A snapshot of the store's counters."""
+        with self._lock:
+            snapshot = StoreStats(**vars(self._stats))
+            snapshot.entries = len(self._memory)
+        return snapshot
+
+    def clear_memory(self) -> None:
+        """Empty the memory tier (the disk tier is untouched)."""
+        with self._lock:
+            self._memory.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)

@@ -1,13 +1,19 @@
-"""Shared experiment infrastructure: sessions, result type, constants."""
+"""Shared experiment infrastructure: sessions, result type, constants.
+
+Session construction lives in :class:`repro.engine.session.
+SessionRegistry`; this module keeps only a thin :func:`get_measurement`
+wrapper over the default registry so experiment modules stay one import
+away from a session, while tests and embedders can construct isolated
+registries of their own.
+"""
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.core import SuiteMeasurement
-from repro.errors import ConfigurationError
+from repro.engine.session import DEFAULT_REGISTRY, EXPERIMENT_SCALES, SessionRegistry
 
 __all__ = [
     "ExperimentResult",
@@ -25,34 +31,19 @@ DEFAULT_BLOCK_WORDS = 4
 #: The headline refill penalty (``p_L1 = 10`` cycles).
 DEFAULT_PENALTY = 10
 
-#: Total canonical instructions per scale.  ``quick`` is for smoke runs
-#: and CI; ``full`` is the default experiment scale (about a minute of
-#: trace generation, cached on disk afterwards).
-EXPERIMENT_SCALES: Dict[str, int] = {
-    "quick": 400_000,
-    "full": 1_600_000,
-}
 
-_sessions: Dict[str, SuiteMeasurement] = {}
-
-
-def get_measurement(scale: Optional[str] = None) -> SuiteMeasurement:
-    """The shared measurement session for a scale (memoized per process).
+def get_measurement(
+    scale: Optional[str] = None,
+    jobs: Optional[int] = None,
+    registry: Optional[SessionRegistry] = None,
+) -> SuiteMeasurement:
+    """The shared measurement session for a scale (memoized per registry).
 
     The scale defaults to the ``REPRO_SCALE`` environment variable, then
-    to ``full``.
+    to ``full``; ``jobs`` sizes the session's sweep executor.  Callers
+    needing isolation pass their own registry.
     """
-    if scale is None:
-        scale = os.environ.get("REPRO_SCALE", "full")
-    if scale not in EXPERIMENT_SCALES:
-        raise ConfigurationError(
-            f"unknown scale {scale!r}; choose from {sorted(EXPERIMENT_SCALES)}"
-        )
-    if scale not in _sessions:
-        _sessions[scale] = SuiteMeasurement(
-            total_instructions=EXPERIMENT_SCALES[scale]
-        )
-    return _sessions[scale]
+    return (registry or DEFAULT_REGISTRY).get(scale, jobs=jobs)
 
 
 @dataclass

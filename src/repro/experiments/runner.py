@@ -6,6 +6,15 @@ Usage::
     repro-experiments table2 fig12       # a subset
     repro-experiments --scale quick      # smaller traces (smoke run)
     repro-experiments --out results/     # also write one .txt per result
+    repro-experiments --jobs 4           # parallel sweeps + trace synthesis
+    repro-experiments --list             # show available experiment names
+
+``--jobs N`` sizes the session's :class:`~repro.engine.executor.
+SweepExecutor`: per-benchmark trace synthesis and design-space sweeps
+are fanned out over N worker processes with results identical to
+``--jobs 1``.  Unknown experiment names raise
+:class:`~repro.errors.ConfigurationError` from :func:`run_experiments`
+(the CLI reports them as an argparse error instead).
 """
 
 from __future__ import annotations
@@ -17,6 +26,8 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
+from repro.engine.session import SessionRegistry
+from repro.errors import ConfigurationError
 from repro.experiments import (
     ext_associativity,
     ext_blocksize,
@@ -47,7 +58,14 @@ from repro.experiments.common import (
     get_measurement,
 )
 
-__all__ = ["ALL_EXPERIMENTS", "EXTENSION_EXPERIMENTS", "main", "run_experiments", "jsonable"]
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "EXTENSION_EXPERIMENTS",
+    "main",
+    "run_experiments",
+    "list_experiments",
+    "jsonable",
+]
 
 
 def jsonable(value):
@@ -102,21 +120,36 @@ EXTENSION_EXPERIMENTS: Dict[str, Callable] = {
 }
 
 
+def list_experiments() -> str:
+    """Human-readable listing of every available experiment name."""
+    lines = ["paper artifacts:"]
+    lines += [f"  {name}" for name in ALL_EXPERIMENTS]
+    lines.append("extension studies:")
+    lines += [f"  {name}" for name in EXTENSION_EXPERIMENTS]
+    return "\n".join(lines)
+
+
 def run_experiments(
     names: Optional[List[str]] = None,
     scale: Optional[str] = None,
     out_dir: Optional[Path] = None,
     stream=sys.stdout,
+    jobs: Optional[int] = None,
+    registry: Optional[SessionRegistry] = None,
 ) -> List[ExperimentResult]:
-    """Run experiments by name (all paper artifacts by default)."""
+    """Run experiments by name (all paper artifacts by default).
+
+    Raises :class:`~repro.errors.ConfigurationError` for unknown names —
+    this is library code, so it never calls :func:`sys.exit`.
+    """
     available = {**ALL_EXPERIMENTS, **EXTENSION_EXPERIMENTS}
     selected = names or list(ALL_EXPERIMENTS)
     unknown = [name for name in selected if name not in available]
     if unknown:
-        raise SystemExit(
+        raise ConfigurationError(
             f"unknown experiment(s): {unknown}; available: {list(available)}"
         )
-    measurement = get_measurement(scale)
+    measurement = get_measurement(scale, jobs=jobs, registry=registry)
     results = []
     for name in selected:
         started = time.time()
@@ -145,7 +178,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help=f"subset to run (default: all of {list(ALL_EXPERIMENTS)})",
+        help="subset to run (default: all paper artifacts; see --list)",
     )
     parser.add_argument(
         "--scale",
@@ -157,15 +190,43 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--out", type=Path, default=None, help="directory for per-result .txt files"
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for trace synthesis and design sweeps (default: 1)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the available experiment names and exit",
+    )
+    parser.add_argument(
         "--extensions",
         action="store_true",
         help="also run the extension studies (Section 6 + ablations)",
     )
     args = parser.parse_args(argv)
+    if args.list:
+        print(list_experiments())
+        return 0
+    if args.jobs < 1:
+        parser.error(f"--jobs must be at least 1, got {args.jobs}")
+    available = {**ALL_EXPERIMENTS, **EXTENSION_EXPERIMENTS}
+    unknown = [name for name in args.experiments if name not in available]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s): {', '.join(unknown)} (see --list)"
+        )
     names = args.experiments or None
     if args.extensions:
         names = (names or list(ALL_EXPERIMENTS)) + list(EXTENSION_EXPERIMENTS)
-    run_experiments(names, scale=args.scale, out_dir=args.out)
+    try:
+        run_experiments(names, scale=args.scale, out_dir=args.out, jobs=args.jobs)
+    except ConfigurationError as exc:
+        # e.g. an invalid REPRO_SCALE env var, which --scale can't pre-check
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 

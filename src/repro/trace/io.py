@@ -20,7 +20,14 @@ import numpy as np
 
 from repro.errors import TraceError
 
-__all__ = ["cache_key", "save_arrays", "load_arrays", "default_cache_dir"]
+__all__ = [
+    "cache_key",
+    "entry_path",
+    "save_arrays",
+    "load_arrays",
+    "delete_entry",
+    "default_cache_dir",
+]
 
 
 def default_cache_dir() -> Path:
@@ -46,6 +53,21 @@ def cache_key(**params: Union[str, int, float, bool, None]) -> str:
     return hashlib.sha256(blob).hexdigest()[:24]
 
 
+def entry_path(key: str, cache_dir: Optional[Path] = None) -> Path:
+    """The on-disk path a key maps to (the file may or may not exist)."""
+    return (cache_dir or default_cache_dir()) / f"{key}.npz"
+
+
+def delete_entry(key: str, cache_dir: Optional[Path] = None) -> bool:
+    """Remove one cached entry; returns True if something was deleted."""
+    path = entry_path(key, cache_dir)
+    try:
+        path.unlink()
+        return True
+    except OSError:
+        return False
+
+
 def save_arrays(
     key: str, arrays: Mapping[str, np.ndarray], cache_dir: Optional[Path] = None
 ) -> Path:
@@ -56,7 +78,7 @@ def save_arrays(
     """
     directory = cache_dir or default_cache_dir()
     directory.mkdir(parents=True, exist_ok=True)
-    path = directory / f"{key}.npz"
+    path = entry_path(key, directory)
     fd, tmp_name = tempfile.mkstemp(dir=str(directory), suffix=".tmp")
     try:
         with os.fdopen(fd, "wb") as handle:
@@ -77,8 +99,7 @@ def load_arrays(
     A corrupt entry is treated as a miss (and removed) rather than an
     error: the cache must never be able to fail an experiment.
     """
-    directory = cache_dir or default_cache_dir()
-    path = directory / f"{key}.npz"
+    path = entry_path(key, cache_dir)
     if not path.exists():
         return None
     try:

@@ -91,6 +91,27 @@ class TestStreamsAndMisses:
         misses = [measurement.dcache_misses(4, s) for s in (1, 4, 16)]
         assert misses == sorted(misses, reverse=True)
 
+    def test_icache_rejects_zero_sets(self, measurement):
+        # 0.001 KW with 4-word blocks derives 0 sets; must not silently
+        # simulate a degenerate cache.
+        with pytest.raises(ConfigurationError, match="L1-I"):
+            measurement.icache_misses(0, 4, 0.001)
+
+    def test_icache_rejects_non_power_of_two_sets(self, measurement):
+        # 1.5 KW / 4-word blocks = 384 sets: not a power of two.
+        with pytest.raises(ConfigurationError, match="384 sets"):
+            measurement.icache_misses(0, 4, 1.5)
+
+    def test_icache_rejects_non_dividing_block(self, measurement):
+        with pytest.raises(ConfigurationError, match="L1-I"):
+            measurement.icache_misses(0, 3, 1)
+
+    def test_dcache_rejects_bad_geometry(self, measurement):
+        with pytest.raises(ConfigurationError, match="L1-D"):
+            measurement.dcache_misses(4, 0.001)
+        with pytest.raises(ConfigurationError, match="L1-D"):
+            measurement.dcache_misses(4, 1.5)
+
     def test_benchmark_rows_regenerate_table1(self, measurement):
         rows = measurement.benchmark_rows()
         assert len(rows) == len(measurement.specs)
@@ -115,3 +136,63 @@ class TestDiskCache:
         assert np.array_equal(a.block_ids, b.block_ids)
         assert np.array_equal(a.went_taken, b.went_taken)
         assert any(tmp_path.iterdir())
+
+    def _session(self):
+        return SuiteMeasurement(
+            specs=[benchmark_by_name("small")],
+            total_instructions=30_000,
+            min_benchmark_instructions=30_000,
+        )
+
+    def test_corrupt_entries_fall_back_to_resynthesis(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        reference = self._session().benchmarks[0].trace
+        for path in tmp_path.glob("*.npz"):
+            path.write_bytes(b"truncated garbage")
+        rebuilt = self._session().benchmarks[0].trace
+        assert np.array_equal(reference.block_ids, rebuilt.block_ids)
+        assert rebuilt.restarts == reference.restarts
+
+    def test_truncated_arrays_fail_validation_and_resynthesize(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.core.measurement as measurement_module
+        from repro.engine.store import ArtifactStore
+        from repro.utils.rng import DEFAULT_SEED
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        # Plant a structurally valid but empty bundle under the exact key
+        # the session will derive.
+        planted = ArtifactStore(cache_dir=tmp_path)
+        planted.put(
+            "trace",
+            measurement_module.GENERATOR_VERSION,
+            {
+                "block_ids": np.array([], dtype=np.int32),
+                "went_taken": np.array([], dtype=np.int8),
+                "restarts": np.array([0]),
+            },
+            persist=True,
+            bench="small",
+            budget=30_000,
+            seed=DEFAULT_SEED,
+        )
+        trace = self._session().benchmarks[0].trace
+        assert len(trace.block_ids) > 0
+
+    def test_version_bump_invalidates_stale_entries(self, tmp_path, monkeypatch):
+        import repro.core.measurement as measurement_module
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        reference = self._session().benchmarks[0].trace
+        stale_files = set(tmp_path.glob("*.npz"))
+        monkeypatch.setattr(
+            measurement_module,
+            "GENERATOR_VERSION",
+            measurement_module.GENERATOR_VERSION + 1,
+        )
+        rebuilt = self._session().benchmarks[0].trace
+        # New entries were written under the bumped version...
+        assert set(tmp_path.glob("*.npz")) > stale_files
+        # ...and the regenerated trace is deterministic regardless.
+        assert np.array_equal(reference.block_ids, rebuilt.block_ids)

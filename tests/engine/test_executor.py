@@ -1,0 +1,137 @@
+"""SweepExecutor tests: backends, ordering, and sweep equivalence.
+
+The process-backend equivalence tests are the contract the tentpole
+refactor rests on: ``serial`` and ``process`` executors must produce
+identical DesignPoint lists (same order, same TPI values) on the
+Figure 12 grid.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DesignOptimizer, SuiteMeasurement, SystemConfig
+from repro.engine.executor import SweepExecutor
+from repro.errors import ConfigurationError
+from repro.workload import benchmark_by_name
+
+
+def _square(value):
+    """Module-level so the process backend can pickle it."""
+    return value * value
+
+
+def _tiny_measurement(executor=None):
+    specs = [benchmark_by_name(name) for name in ("small", "yacc")]
+    return SuiteMeasurement(
+        specs=specs,
+        total_instructions=60_000,
+        min_benchmark_instructions=30_000,
+        executor=executor,
+    )
+
+
+def _fig12_points(optimizer):
+    grid = optimizer.symmetric_grid(SystemConfig(penalty=10))
+    return optimizer.sweep(grid)
+
+
+class TestConstruction:
+    def test_defaults(self):
+        assert SweepExecutor().is_serial
+        assert SweepExecutor(jobs=4).is_parallel
+        assert SweepExecutor(jobs=4).jobs == 4
+
+    def test_explicit_backend(self):
+        assert SweepExecutor(jobs=1, backend="process").is_parallel
+        assert SweepExecutor(jobs=1, backend="serial").is_serial
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SweepExecutor(jobs=0)
+        with pytest.raises(ConfigurationError):
+            SweepExecutor(backend="threads")
+        with pytest.raises(ConfigurationError):
+            SweepExecutor(chunk_size=0)
+
+
+class TestSerialMap:
+    def test_order_and_values(self):
+        executor = SweepExecutor()
+        assert executor.map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_empty(self):
+        assert SweepExecutor().map(_square, []) == []
+
+
+class TestProcessMap:
+    def test_order_preserved(self):
+        executor = SweepExecutor(jobs=2)
+        try:
+            assert executor.map(_square, list(range(20))) == [
+                n * n for n in range(20)
+            ]
+        finally:
+            executor.shutdown()
+
+    def test_chunked_dispatch_matches(self):
+        executor = SweepExecutor(jobs=2, chunk_size=3)
+        try:
+            assert executor.map(_square, list(range(10))) == [
+                n * n for n in range(10)
+            ]
+        finally:
+            executor.shutdown()
+
+
+class TestSweepEquivalence:
+    @pytest.fixture(scope="class")
+    def serial_points(self, tmp_path_factory):
+        cache = tmp_path_factory.mktemp("trace-cache")
+        mp = pytest.MonkeyPatch()
+        mp.setenv("REPRO_CACHE_DIR", str(cache))
+        yield _fig12_points(DesignOptimizer(_tiny_measurement()))
+        mp.undo()
+
+    def _assert_identical(self, serial, parallel):
+        assert len(parallel) == len(serial)
+        for a, b in zip(serial, parallel):
+            assert a.config == b.config  # same order, same points
+            assert a.cpi == b.cpi
+            assert a.cycle_time_ns == b.cycle_time_ns
+            assert a.tpi_ns == b.tpi_ns
+
+    def test_process_backend_matches_serial(self, serial_points, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        measurement = _tiny_measurement(executor=SweepExecutor(jobs=2))
+        try:
+            parallel = _fig12_points(DesignOptimizer(measurement))
+        finally:
+            measurement.executor.shutdown()
+        self._assert_identical(serial_points, parallel)
+
+    def test_spawned_workers_rehydrate_from_disk_store(
+        self, serial_points, monkeypatch, tmp_path
+    ):
+        # Spawned workers cannot inherit the live session, so this pins
+        # the rebuild-from-spec + disk-store rehydration path.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        executor = SweepExecutor(jobs=2, start_method="spawn")
+        measurement = _tiny_measurement(executor=executor)
+        measurement.benchmarks  # persist traces for the workers to load
+        try:
+            parallel = _fig12_points(DesignOptimizer(measurement))
+        finally:
+            executor.shutdown()
+        self._assert_identical(serial_points, parallel)
+
+    def test_parallel_benchmark_synthesis_matches(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "parallel"))
+        parallel = _tiny_measurement(executor=SweepExecutor(jobs=2))
+        parallel_benchmarks = parallel.benchmarks
+        parallel.executor.shutdown()
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
+        serial = _tiny_measurement()
+        for theirs, ours in zip(parallel_benchmarks, serial.benchmarks):
+            assert np.array_equal(theirs.trace.block_ids, ours.trace.block_ids)
+            assert np.array_equal(theirs.trace.went_taken, ours.trace.went_taken)
+            assert theirs.trace.restarts == ours.trace.restarts

@@ -1,0 +1,162 @@
+"""ArtifactStore tests: keys, tiers, counters, invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.engine.store import ArtifactKey, ArtifactStore
+from repro.errors import ConfigurationError
+
+
+class TestArtifactKey:
+    def test_param_order_independent(self):
+        a = ArtifactKey.make("trace", 1, bench="gcc", budget=100)
+        b = ArtifactKey.make("trace", 1, budget=100, bench="gcc")
+        assert a == b
+        assert a.digest == b.digest
+
+    def test_kind_version_and_params_distinguish(self):
+        base = ArtifactKey.make("trace", 1, bench="gcc")
+        assert base != ArtifactKey.make("istream", 1, bench="gcc")
+        assert base != ArtifactKey.make("trace", 2, bench="gcc")
+        assert base != ArtifactKey.make("trace", 1, bench="yacc")
+
+    def test_numpy_scalars_coerced(self):
+        a = ArtifactKey.make("imiss", 1, sets=np.int64(256))
+        b = ArtifactKey.make("imiss", 1, sets=256)
+        assert a == b
+
+    def test_non_scalar_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArtifactKey.make("trace", 1, bad=[1, 2])
+
+
+class TestMemoryTier:
+    def test_miss_then_hit_returns_same_object(self):
+        store = ArtifactStore(use_disk=False)
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return {"value": 42}
+
+        first = store.get_or_create("thing", 1, factory, n=1)
+        second = store.get_or_create("thing", 1, factory, n=1)
+        assert first is second
+        assert len(calls) == 1
+        stats = store.stats()
+        assert stats.misses == 1
+        assert stats.memory_hits == 1
+
+    def test_lru_eviction_counts(self):
+        store = ArtifactStore(use_disk=False, memory_entries=2)
+        for n in range(4):
+            store.get_or_create("thing", 1, lambda n=n: n, n=n)
+        assert store.stats().evictions == 2
+        assert len(store) == 2
+        # The two most recent entries survived.
+        assert store.peek("thing", 1, n=3) == 3
+        assert store.peek("thing", 1, n=0) is None
+
+    def test_peek_does_not_count_or_create(self):
+        store = ArtifactStore(use_disk=False)
+        assert store.peek("thing", 1, n=1) is None
+        assert store.stats().lookups == 0
+
+    def test_put_then_hit(self):
+        store = ArtifactStore(use_disk=False)
+        store.put("thing", 1, "payload", n=1)
+        assert store.get_or_create("thing", 1, lambda: "other", n=1) == "payload"
+
+    def test_stats_report_mentions_counters(self):
+        store = ArtifactStore(use_disk=False)
+        store.get_or_create("thing", 1, lambda: 1, n=1)
+        report = store.stats().report()
+        assert "memory hits" in report and "misses" in report
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArtifactStore(memory_entries=0)
+
+
+class TestDiskTier:
+    def _arrays(self, n=10):
+        return {"x": np.arange(n), "y": np.ones(3)}
+
+    def test_roundtrip_across_stores(self, tmp_path):
+        first = ArtifactStore(cache_dir=tmp_path)
+        created = first.get_or_create("trace", 1, self._arrays, persist=True, n=1)
+        second = ArtifactStore(cache_dir=tmp_path)
+        loaded = second.get_or_create(
+            "trace", 1, lambda: pytest.fail("factory must not run"), persist=True, n=1
+        )
+        assert np.array_equal(loaded["x"], created["x"])
+        assert second.stats().disk_hits == 1
+
+    def test_corrupt_entry_falls_back_to_factory(self, tmp_path):
+        store = ArtifactStore(cache_dir=tmp_path)
+        store.get_or_create("trace", 1, self._arrays, persist=True, n=1)
+        for path in tmp_path.glob("*.npz"):
+            path.write_bytes(b"definitely not an npz")
+        fresh = ArtifactStore(cache_dir=tmp_path)
+        value = fresh.get_or_create("trace", 1, self._arrays, persist=True, n=1)
+        assert np.array_equal(value["x"], self._arrays()["x"])
+        assert fresh.stats().misses == 1
+
+    def test_invalid_entry_fails_validate_and_falls_back(self, tmp_path):
+        # A structurally valid but truncated bundle (empty arrays) must be
+        # treated as a miss by the validate hook.
+        store = ArtifactStore(cache_dir=tmp_path)
+        store.put("trace", 1, {"x": np.array([])}, persist=True, n=1)
+        fresh = ArtifactStore(cache_dir=tmp_path)
+        value = fresh.get_or_create(
+            "trace",
+            1,
+            self._arrays,
+            persist=True,
+            validate=lambda a: len(a.get("x", ())) > 0,
+            n=1,
+        )
+        assert len(value["x"]) > 0
+        assert fresh.stats().misses == 1
+
+    def test_version_bump_invalidates(self, tmp_path):
+        store = ArtifactStore(cache_dir=tmp_path)
+        store.get_or_create("trace", 1, self._arrays, persist=True, n=1)
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return self._arrays()
+
+        fresh = ArtifactStore(cache_dir=tmp_path)
+        fresh.get_or_create("trace", 2, factory, persist=True, n=1)
+        assert calls, "bumped version must not reuse the stale entry"
+
+    def test_use_disk_false_keeps_memory_only(self, tmp_path):
+        store = ArtifactStore(cache_dir=tmp_path, use_disk=False)
+        store.get_or_create("trace", 1, self._arrays, persist=True, n=1)
+        assert not list(tmp_path.iterdir())
+
+    def test_persist_requires_array_mapping(self, tmp_path):
+        store = ArtifactStore(cache_dir=tmp_path)
+        with pytest.raises(ConfigurationError):
+            store.put("trace", 1, "not arrays", persist=True, n=1)
+
+    def test_invalidate_removes_both_tiers(self, tmp_path):
+        store = ArtifactStore(cache_dir=tmp_path)
+        store.get_or_create("trace", 1, self._arrays, persist=True, n=1)
+        store.invalidate("trace", 1, n=1)
+        assert store.peek("trace", 1, n=1) is None
+        assert not list(tmp_path.glob("*.npz"))
+
+    def test_factory_output_failing_validate_is_an_error(self, tmp_path):
+        store = ArtifactStore(cache_dir=tmp_path)
+        with pytest.raises(ConfigurationError):
+            store.get_or_create(
+                "trace",
+                1,
+                lambda: {"x": np.array([])},
+                persist=True,
+                validate=lambda a: len(a["x"]) > 0,
+                n=1,
+            )

@@ -140,27 +140,63 @@ class TestFigureShapes:
 
 
 class TestRunner:
-    def test_run_experiments_subset(self, measurement, tmp_path, monkeypatch):
+    def test_run_experiments_subset(self, measurement, tmp_path):
         import io
 
+        from repro.engine.session import SessionRegistry
         from repro.experiments import runner
-        from repro.experiments import common
 
-        monkeypatch.setitem(common._sessions, "quick", measurement)
-        monkeypatch.setenv("REPRO_SCALE", "quick")
+        registry = SessionRegistry()
+        registry.set("quick", measurement)
         stream = io.StringIO()
         results = runner.run_experiments(
-            ["table6"], scale="quick", out_dir=tmp_path, stream=stream
+            ["table6"],
+            scale="quick",
+            out_dir=tmp_path,
+            stream=stream,
+            registry=registry,
         )
         assert len(results) == 1
         assert (tmp_path / "table6.txt").exists()
         assert "Table 6" in stream.getvalue()
 
-    def test_unknown_experiment_rejected(self):
+    def test_unknown_experiment_raises_configuration_error(self):
+        from repro.errors import ConfigurationError
         from repro.experiments.runner import run_experiments
 
-        with pytest.raises(SystemExit):
+        with pytest.raises(ConfigurationError, match="table99"):
             run_experiments(["table99"])
+
+    def test_store_reports_hits_after_experiments(self, results, measurement):
+        stats = measurement.store.stats()
+        assert stats.hits > 0
+        assert stats.misses > 0
+        assert "hit rate" in stats.report()
+
+
+class TestCli:
+    def test_list_flag_prints_and_exits_zero(self, capsys):
+        from repro.experiments import runner
+
+        assert runner.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "fig12", "ext_l2"):
+            assert name in out
+
+    def test_unknown_experiment_is_an_argparse_error(self, capsys):
+        from repro.experiments import runner
+
+        with pytest.raises(SystemExit) as exc:
+            runner.main(["table99"])
+        assert exc.value.code == 2
+        assert "table99" in capsys.readouterr().err
+
+    def test_invalid_jobs_rejected(self, capsys):
+        from repro.experiments import runner
+
+        with pytest.raises(SystemExit) as exc:
+            runner.main(["--jobs", "0", "table6"])
+        assert exc.value.code == 2
 
 
 class TestJsonExport:
@@ -176,16 +212,21 @@ class TestJsonExport:
         assert converted == {"2,2": {"16": 8.2}, "plain": [3, None]}
         json.dumps(converted)  # must be encodable
 
-    def test_runner_writes_json(self, measurement, tmp_path, monkeypatch):
+    def test_runner_writes_json(self, measurement, tmp_path):
+        import io
         import json
 
-        from repro.experiments import common, runner
+        from repro.engine.session import SessionRegistry
+        from repro.experiments import runner
 
-        monkeypatch.setitem(common._sessions, "quick", measurement)
-        import io
-
+        registry = SessionRegistry()
+        registry.set("quick", measurement)
         runner.run_experiments(
-            ["table6"], scale="quick", out_dir=tmp_path, stream=io.StringIO()
+            ["table6"],
+            scale="quick",
+            out_dir=tmp_path,
+            stream=io.StringIO(),
+            registry=registry,
         )
         payload = json.loads((tmp_path / "table6.json").read_text())
         assert payload["experiment_id"] == "table6"
