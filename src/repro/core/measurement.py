@@ -32,6 +32,7 @@ from repro.engine.executor import SweepExecutor, synthesize_trace_arrays
 from repro.engine.session import MeasurementSpec
 from repro.engine.store import ArtifactStore
 from repro.errors import ConfigurationError
+from repro.obs.tracer import NULL_TRACER
 from repro.sched import (
     BranchDelayStats,
     LoadSlackAnalysis,
@@ -116,6 +117,11 @@ class SuiteMeasurement:
         executor: Sweep executor used to fan out per-benchmark trace
             synthesis, and the default executor for optimizers built on
             this session (default: serial).
+        tracer: Observability hook (:mod:`repro.obs`); factory work —
+            trace synthesis, stream expansion, miss counting — runs
+            inside spans on it.  Defaults to the zero-overhead
+            :data:`~repro.obs.tracer.NULL_TRACER`; tracing never changes
+            a result.
     """
 
     def __init__(
@@ -128,6 +134,7 @@ class SuiteMeasurement:
         use_disk_cache: bool = True,
         store: Optional[ArtifactStore] = None,
         executor: Optional[SweepExecutor] = None,
+        tracer=None,
     ) -> None:
         if total_instructions <= 0:
             raise ConfigurationError("total_instructions must be positive")
@@ -145,6 +152,7 @@ class SuiteMeasurement:
         self._use_disk_cache = use_disk_cache
         self.store = store if store is not None else ArtifactStore(use_disk=use_disk_cache)
         self.executor = executor if executor is not None else SweepExecutor()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
         total_weight = sum(spec.weight for spec in self.specs)
         self._budgets = [
@@ -155,6 +163,11 @@ class SuiteMeasurement:
             for spec in self.specs
         ]
         self._benchmarks: Optional[List[_Benchmark]] = None
+
+    def attach_tracer(self, tracer) -> None:
+        """Point this session (and its executor) at an observability tracer."""
+        self.tracer = tracer
+        self.executor.tracer = tracer
 
     def spec(self) -> MeasurementSpec:
         """A picklable description from which workers rebuild this session."""
@@ -176,12 +189,14 @@ class SuiteMeasurement:
         compiled = CompiledProgram(synthesize_program(spec, seed=self.seed))
 
         def run_trace() -> Dict[str, np.ndarray]:
-            trace = execute_program(compiled.program, budget, seed=self.seed)
-            return {
-                "block_ids": trace.block_ids,
-                "went_taken": trace.went_taken,
-                "restarts": np.array([trace.restarts]),
-            }
+            with self.tracer.span("trace.synthesize", bench=spec.name) as span:
+                trace = execute_program(compiled.program, budget, seed=self.seed)
+                span.count("instructions", int(trace.instruction_count))
+                return {
+                    "block_ids": trace.block_ids,
+                    "went_taken": trace.went_taken,
+                    "restarts": np.array([trace.restarts]),
+                }
 
         arrays = self.store.get_or_create(
             "trace",
@@ -220,10 +235,12 @@ class SuiteMeasurement:
         ]
         if len(missing) < 2:
             return
-        bundles = self.executor.map(
-            synthesize_trace_arrays,
-            [(spec, budget, self.seed) for spec, budget in missing],
-        )
+        with self.tracer.span("session.prefetch_traces") as span:
+            span.count("missing", len(missing))
+            bundles = self.executor.map(
+                synthesize_trace_arrays,
+                [(spec, budget, self.seed) for spec, budget in missing],
+            )
         for (spec, budget), arrays in zip(missing, bundles):
             self.store.put(
                 "trace",
@@ -237,21 +254,23 @@ class SuiteMeasurement:
     def benchmarks(self) -> List[_Benchmark]:
         """Per-benchmark artifacts, built lazily on first use."""
         if self._benchmarks is None:
-            if self.executor.is_parallel:
-                self._prefetch_traces()
-            built = []
-            for index, (spec, budget) in enumerate(zip(self.specs, self._budgets)):
-                trace = self._load_or_run_trace(spec, budget)
-                built.append(
-                    _Benchmark(
-                        index=index,
-                        spec=spec,
-                        compiled=trace.compiled,
-                        trace=trace,
-                        translations={},
+            with self.tracer.span("session.build") as span:
+                span.count("benchmarks", len(self.specs))
+                if self.executor.is_parallel:
+                    self._prefetch_traces()
+                built = []
+                for index, (spec, budget) in enumerate(zip(self.specs, self._budgets)):
+                    trace = self._load_or_run_trace(spec, budget)
+                    built.append(
+                        _Benchmark(
+                            index=index,
+                            spec=spec,
+                            compiled=trace.compiled,
+                            trace=trace,
+                            translations={},
+                        )
                     )
-                )
-            self._benchmarks = built
+                self._benchmarks = built
         return self._benchmarks
 
     # -- suite aggregates ------------------------------------------------------
@@ -352,15 +371,20 @@ class SuiteMeasurement:
         """Multiprogrammed instruction stream at cache-block granularity."""
 
         def build() -> np.ndarray:
-            shift = log2_int(block_words * WORD_BYTES)
-            sequences = []
-            for bench in self.benchmarks:
-                stream = expand_istream(bench.trace, bench.translation(slots))
-                blocks = stream.cache_block_sequence(block_words * WORD_BYTES)
-                blocks = blocks + (address_space_offset(bench.index) >> shift)
-                sequences.append(blocks)
-            quanta = multiprogram_quanta([len(s) for s in sequences], self.switches)
-            return interleave_chunks(sequences, quanta)
+            with self.tracer.span(
+                "istream.expand", slots=slots, block_words=block_words
+            ):
+                shift = log2_int(block_words * WORD_BYTES)
+                sequences = []
+                for bench in self.benchmarks:
+                    stream = expand_istream(bench.trace, bench.translation(slots))
+                    blocks = stream.cache_block_sequence(block_words * WORD_BYTES)
+                    blocks = blocks + (address_space_offset(bench.index) >> shift)
+                    sequences.append(blocks)
+                quanta = multiprogram_quanta(
+                    [len(s) for s in sequences], self.switches
+                )
+                return interleave_chunks(sequences, quanta)
 
         return self.store.get_or_create(
             "istream", GENERATOR_VERSION, build, slots=slots, block_words=block_words
@@ -370,17 +394,20 @@ class SuiteMeasurement:
         """Multiprogrammed data stream at cache-block granularity."""
 
         def build() -> np.ndarray:
-            sequences = []
-            for bench in self.benchmarks:
-                refs = (
-                    bench.trace.category_counts["loads"]
-                    + bench.trace.category_counts["stores"]
+            with self.tracer.span("dstream.expand", block_words=block_words):
+                sequences = []
+                for bench in self.benchmarks:
+                    refs = (
+                        bench.trace.category_counts["loads"]
+                        + bench.trace.category_counts["stores"]
+                    )
+                    model = DataReferenceModel(bench.spec, seed=self.seed)
+                    addresses = model.generate(refs) + address_space_offset(bench.index)
+                    sequences.append(addresses_to_blocks(addresses, block_words))
+                quanta = multiprogram_quanta(
+                    [len(s) for s in sequences], self.switches
                 )
-                model = DataReferenceModel(bench.spec, seed=self.seed)
-                addresses = model.generate(refs) + address_space_offset(bench.index)
-                sequences.append(addresses_to_blocks(addresses, block_words))
-            quanta = multiprogram_quanta([len(s) for s in sequences], self.switches)
-            return interleave_chunks(sequences, quanta)
+                return interleave_chunks(sequences, quanta)
 
         return self.store.get_or_create(
             "dstream", GENERATOR_VERSION, build, block_words=block_words
@@ -408,10 +435,18 @@ class SuiteMeasurement:
     def icache_misses(self, slots: int, block_words: int, size_kw: float) -> int:
         """L1-I misses for one configuration over the whole session."""
         sets = self._derived_sets("I", block_words, size_kw)
+
+        def simulate() -> int:
+            self.tracer.count("cache_sims")
+            with self.tracer.span("imiss.simulate", slots=slots, sets=sets):
+                return direct_mapped_misses(
+                    self.istream_blocks(slots, block_words), sets
+                )
+
         return self.store.get_or_create(
             "imiss",
             GENERATOR_VERSION,
-            lambda: direct_mapped_misses(self.istream_blocks(slots, block_words), sets),
+            simulate,
             slots=slots,
             block_words=block_words,
             sets=sets,
@@ -420,10 +455,16 @@ class SuiteMeasurement:
     def dcache_misses(self, block_words: int, size_kw: float) -> int:
         """L1-D misses for one configuration over the whole session."""
         sets = self._derived_sets("D", block_words, size_kw)
+
+        def simulate() -> int:
+            self.tracer.count("cache_sims")
+            with self.tracer.span("dmiss.simulate", sets=sets):
+                return direct_mapped_misses(self.dstream_blocks(block_words), sets)
+
         return self.store.get_or_create(
             "dmiss",
             GENERATOR_VERSION,
-            lambda: direct_mapped_misses(self.dstream_blocks(block_words), sets),
+            simulate,
             block_words=block_words,
             sets=sets,
         )

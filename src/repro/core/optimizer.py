@@ -82,9 +82,11 @@ class DesignOptimizer:
         self.model = CpiModel(measurement)
         self.tech = tech
         self.executor = executor if executor is not None else measurement.executor
+        self.tracer = measurement.tracer
         self._tech_digest = cache_key(**asdict(tech))
 
     def _evaluate_uncached(self, config: SystemConfig) -> DesignPoint:
+        self.tracer.count("design_points")
         cycle = system_cycle_time_ns(config, self.tech)
         cpi = self.model.cpi(config, cycle_time_ns=cycle)
         return DesignPoint(config=config, cpi=cpi, cycle_time_ns=cycle)
@@ -124,6 +126,7 @@ class DesignOptimizer:
         # A pool dispatch only pays off with at least one chunk per worker.
         if len(missing) < max(2, self.executor.jobs):
             return
+        self.tracer.count("prefilled", len(missing))
         spec = self.measurement.spec()
         self.executor.prime(spec.digest(), self.measurement)
         points = self.executor.map(
@@ -142,9 +145,13 @@ class DesignOptimizer:
     def sweep(self, configs: Iterable[SystemConfig]) -> List[DesignPoint]:
         """Evaluate many configurations (in input order)."""
         configs = list(configs)
-        if self.executor.is_parallel:
-            self._prefill_parallel(configs)
-        return [self.evaluate(config) for config in configs]
+        with self.tracer.span(
+            "optimizer.sweep", backend=self.executor.backend
+        ) as span:
+            span.count("configs", len(configs))
+            if self.executor.is_parallel:
+                self._prefill_parallel(configs)
+            return [self.evaluate(config) for config in configs]
 
     def symmetric_grid(
         self,

@@ -30,20 +30,41 @@ from __future__ import annotations
 
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.tracer import NULL_TRACER
 
-__all__ = ["SweepExecutor", "BACKENDS"]
+__all__ = ["SweepExecutor", "BACKENDS", "retire_inherited"]
 
 BACKENDS = ("serial", "process")
 
 #: Live objects forked workers inherit via copy-on-write, keyed by spec
 #: digest.  Populated in the parent by :meth:`SweepExecutor.prime` before
-#: pool creation; empty (and therefore inert) in spawned workers.
+#: pool creation; empty (and therefore inert) in spawned workers.  At
+#: most one session lives here at a time: priming a new session retires
+#: every previously primed one (workers only ever need the session being
+#: swept *now*, and retired sessions would otherwise leak their traces
+#: and memo stores for the life of the process).
 _FORK_INHERITED: Dict[str, Any] = {}
+
+
+def retire_inherited(digest: Optional[str] = None) -> None:
+    """Drop fork-inheritable session state: one digest, or all of it.
+
+    Called by :class:`~repro.engine.session.SessionRegistry` when it
+    swaps or discards a session, and usable directly by tests.  Workers
+    forked earlier keep their copy-on-write snapshot; later forks simply
+    fall back to rehydrating from the disk store, which is always
+    correct.
+    """
+    if digest is None:
+        _FORK_INHERITED.clear()
+    else:
+        _FORK_INHERITED.pop(digest, None)
 
 #: Sessions a worker process has rebuilt from their specs, so one worker
 #: rehydrates at most once per distinct session.
@@ -85,10 +106,18 @@ class SweepExecutor:
         self.jobs = 1 if backend == "serial" else jobs
         self.backend = backend
         self.chunk_size = chunk_size
+        self.tracer = NULL_TRACER
         self._start_method = start_method
         self._pool: Optional[ProcessPoolExecutor] = None
 
     # -- properties ------------------------------------------------------------
+
+    @property
+    def start_method(self) -> Optional[str]:
+        """The effective multiprocessing start method (None when serial)."""
+        if self.is_serial:
+            return None
+        return self._start_method or multiprocessing.get_start_method()
 
     @property
     def is_serial(self) -> bool:
@@ -112,14 +141,35 @@ class SweepExecutor:
         """Apply ``fn`` to every item; results are in input order.
 
         On the process backend ``fn`` and every item must be picklable;
-        dispatch is chunked so per-task IPC overhead amortizes.
+        dispatch is chunked so per-task IPC overhead amortizes.  A worker
+        crash (OOM kill, hard exit) breaks the whole
+        :class:`ProcessPoolExecutor`; the broken pool is shut down and
+        the map retried once on a fresh pool before a clean
+        :class:`~repro.errors.ConfigurationError` surfaces — the
+        executor itself stays usable either way.
         """
         items = list(items)
-        if self.is_serial or len(items) <= 1:
-            return [fn(item) for item in items]
-        chunk = chunk_size or self.chunk_size or self._default_chunk(len(items))
-        pool = self._ensure_pool()
-        return list(pool.map(fn, items, chunksize=chunk))
+        with self.tracer.span(
+            "executor.map", backend=self.backend, jobs=self.jobs
+        ) as span:
+            span.count("items", len(items))
+            if self.is_serial or len(items) <= 1:
+                return [fn(item) for item in items]
+            chunk = chunk_size or self.chunk_size or self._default_chunk(len(items))
+            for _attempt in range(2):
+                pool = self._ensure_pool()
+                try:
+                    return list(pool.map(fn, items, chunksize=chunk))
+                except BrokenProcessPool:
+                    # The pool is unrecoverable once any worker dies;
+                    # every future it still holds is dead too.
+                    self._shutdown_pool()
+                    span.count("pool_restarts")
+        raise ConfigurationError(
+            f"sweep worker pool crashed twice while mapping {len(items)} items "
+            f"with jobs={self.jobs} — a worker was killed (out of memory?); "
+            f"retry with fewer jobs or --jobs 1"
+        )
 
     def _default_chunk(self, count: int) -> int:
         return max(1, -(-count // (self.jobs * 4)))  # ceil
@@ -132,9 +182,15 @@ class SweepExecutor:
         If the pool already exists (its workers were forked before this
         state existed) it is retired so the next :meth:`map` re-forks
         with the session visible.  A no-op for already-primed sessions.
+
+        Any previously primed session (same digest with a different live
+        object, or a different session/scale entirely) is retired first,
+        so the module-global inheritance table never grows beyond the
+        one session currently being swept.
         """
         if _FORK_INHERITED.get(digest) is session:
             return
+        retire_inherited()
         _FORK_INHERITED[digest] = session
         self._shutdown_pool()
 

@@ -21,7 +21,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
-from repro.engine.executor import SweepExecutor
+from repro.engine.executor import SweepExecutor, retire_inherited
 from repro.errors import ConfigurationError
 
 __all__ = [
@@ -76,6 +76,17 @@ class MeasurementSpec:
         )
 
 
+def _retire_session(session: Any) -> None:
+    """Retire a replaced session's fork-inheritable state, if any.
+
+    Sessions are duck-typed here (tests inject stand-ins), so anything
+    without a ``spec()`` is simply not primeable and needs no cleanup.
+    """
+    spec = getattr(session, "spec", None)
+    if callable(spec):
+        retire_inherited(spec().digest())
+
+
 class SessionRegistry:
     """Named measurement sessions, one per experiment scale.
 
@@ -123,15 +134,27 @@ class SessionRegistry:
         return session
 
     def set(self, scale: str, session: Any) -> None:
-        """Inject a prebuilt session (tests; custom suites)."""
+        """Inject a prebuilt session (tests; custom suites).
+
+        A session previously registered under the scale is retired from
+        the executor's fork-inheritance table so replaced sessions never
+        linger as warm copies for future worker forks.
+        """
+        previous = self._sessions.get(scale)
+        if previous is not None and previous is not session:
+            _retire_session(previous)
         self._sessions[scale] = session
 
     def discard(self, scale: str) -> None:
-        """Forget one scale's session, if present."""
-        self._sessions.pop(scale, None)
+        """Forget one scale's session, if present (retiring primed state)."""
+        session = self._sessions.pop(scale, None)
+        if session is not None:
+            _retire_session(session)
 
     def clear(self) -> None:
-        """Forget every session."""
+        """Forget every session (retiring their primed state)."""
+        for session in self._sessions.values():
+            _retire_session(session)
         self._sessions.clear()
 
     def __contains__(self, scale: str) -> bool:

@@ -38,6 +38,11 @@ __all__ = ["ArtifactKey", "ArtifactStore", "StoreStats"]
 
 _SCALAR_TYPES = (str, int, float, bool)
 
+#: Private "no entry" sentinel for the memory tier.  ``None`` is a
+#: legitimate cached value (a factory may legitimately produce it), so
+#: absence must be distinguishable from a cached ``None``.
+_ABSENT = object()
+
 
 def _coerce_scalar(name: str, value: Any) -> Any:
     """Normalize one key parameter to a plain JSON scalar (or None)."""
@@ -87,6 +92,7 @@ class StoreStats:
     misses: int = 0
     evictions: int = 0
     disk_writes: int = 0
+    invalidations: int = 0
     entries: int = 0
 
     @property
@@ -106,7 +112,8 @@ class StoreStats:
             f"artifact store: {self.entries} entries in memory, "
             f"{self.memory_hits} memory hits, {self.disk_hits} disk hits, "
             f"{self.misses} misses, {self.evictions} evictions, "
-            f"{self.disk_writes} disk writes "
+            f"{self.disk_writes} disk writes, "
+            f"{self.invalidations} invalidations "
             f"(hit rate {100.0 * self.hit_rate:.1f}%)"
         )
 
@@ -155,16 +162,17 @@ class ArtifactStore:
 
         Lookup order is memory tier, then (for ``persist`` artifacts) the
         disk tier, then ``factory()``.  A disk entry that fails
-        ``validate`` counts as a miss and is re-created — a truncated or
-        stale bundle can never fail an experiment.
+        ``validate`` is deleted, counts as a miss, and is re-created — a
+        truncated or stale bundle can never fail an experiment, and it is
+        never re-read (and re-failed) on later lookups.
         """
         key = ArtifactKey.make(kind, version, **params)
         value = self._memory_get(key, count=True)
-        if value is not None:
+        if value is not _ABSENT:
             return value
         if persist and self.use_disk:
-            arrays = load_arrays(key.digest, cache_dir=self.cache_dir)
-            if arrays is not None and (validate is None or validate(arrays)):
+            arrays = self._disk_get(key, validate)
+            if arrays is not None:
                 with self._lock:
                     self._stats.disk_hits += 1
                 self._remember(key, arrays)
@@ -202,14 +210,20 @@ class ArtifactStore:
         validate: Optional[Callable[[Any], bool]] = None,
         **params: Any,
     ) -> Optional[Any]:
-        """Non-creating lookup; returns None on a miss without counting it."""
+        """Non-creating lookup; returns None on a miss without counting it.
+
+        A cached value of ``None`` is indistinguishable from a miss here
+        by design — callers that must tell them apart use
+        :meth:`get_or_create`, whose memory tier distinguishes absence
+        with a private sentinel.
+        """
         key = ArtifactKey.make(kind, version, **params)
         value = self._memory_get(key, count=False)
-        if value is not None:
+        if value is not _ABSENT:
             return value
         if persist and self.use_disk:
-            arrays = load_arrays(key.digest, cache_dir=self.cache_dir)
-            if arrays is not None and (validate is None or validate(arrays)):
+            arrays = self._disk_get(key, validate)
+            if arrays is not None:
                 self._remember(key, arrays)
                 return arrays
         return None
@@ -224,14 +238,34 @@ class ArtifactStore:
 
     # -- internals -------------------------------------------------------------
 
-    def _memory_get(self, key: ArtifactKey, count: bool) -> Optional[Any]:
+    def _memory_get(self, key: ArtifactKey, count: bool) -> Any:
+        """Memory-tier lookup; returns :data:`_ABSENT` (never None) on a miss."""
         with self._lock:
             if key in self._memory:
                 self._memory.move_to_end(key)
                 if count:
                     self._stats.memory_hits += 1
                 return self._memory[key]
-        return None
+        return _ABSENT
+
+    def _disk_get(
+        self, key: ArtifactKey, validate: Optional[Callable[[Any], bool]]
+    ) -> Optional[Any]:
+        """Disk-tier lookup; deletes entries that fail ``validate``.
+
+        Removal implements DESIGN.md invalidation rule 2: a bundle that
+        loads but is rejected by the owner's ``validate`` hook would
+        otherwise be re-read and re-failed on every subsequent lookup.
+        """
+        arrays = load_arrays(key.digest, cache_dir=self.cache_dir)
+        if arrays is None:
+            return None
+        if validate is not None and not validate(arrays):
+            delete_entry(key.digest, cache_dir=self.cache_dir)
+            with self._lock:
+                self._stats.invalidations += 1
+            return None
+        return arrays
 
     def _insert(self, key: ArtifactKey, value: Any, persist: bool) -> None:
         if persist and self.use_disk:

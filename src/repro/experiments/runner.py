@@ -7,6 +7,8 @@ Usage::
     repro-experiments --scale quick      # smaller traces (smoke run)
     repro-experiments --out results/     # also write one .txt per result
     repro-experiments --jobs 4           # parallel sweeps + trace synthesis
+    repro-experiments --profile          # span tree + store hit rates
+    repro-experiments --metrics m.json   # machine-readable run ledger
     repro-experiments --list             # show available experiment names
 
 ``--jobs N`` sizes the session's :class:`~repro.engine.executor.
@@ -21,13 +23,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
-from repro.engine.session import SessionRegistry
+from repro.engine.session import DEFAULT_REGISTRY, SessionRegistry
 from repro.errors import ConfigurationError
+from repro.obs import NULL_TRACER, RunLedger, Tracer
 from repro.experiments import (
     ext_associativity,
     ext_blocksize,
@@ -74,6 +78,9 @@ def jsonable(value):
     Experiment data dicts freely use tuple keys (e.g. ``(b, l)`` slot
     pairs) and numpy scalars; JSON supports neither, so tuples become
     comma-joined strings and numpy values their Python equivalents.
+    Non-finite floats (NaN, ±Infinity) become ``None``: bare ``NaN`` /
+    ``Infinity`` tokens are not strict JSON and break downstream
+    consumers that parse with ``parse_constant`` rejection.
     """
     if isinstance(value, dict):
         return {
@@ -83,7 +90,9 @@ def jsonable(value):
     if isinstance(value, (list, tuple)):
         return [jsonable(v) for v in value]
     if hasattr(value, "item") and callable(value.item):  # numpy scalar
-        return value.item()
+        value = value.item()
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     return str(value)
@@ -136,11 +145,22 @@ def run_experiments(
     stream=sys.stdout,
     jobs: Optional[int] = None,
     registry: Optional[SessionRegistry] = None,
+    profile: bool = False,
+    metrics_path: Optional[Path] = None,
 ) -> List[ExperimentResult]:
     """Run experiments by name (all paper artifacts by default).
 
     Raises :class:`~repro.errors.ConfigurationError` for unknown names —
     this is library code, so it never calls :func:`sys.exit`.
+
+    Observability: with ``profile``, ``metrics_path``, or ``out_dir``
+    set, the run is traced through :mod:`repro.obs` and a
+    :class:`~repro.obs.RunLedger` is assembled.  ``metrics_path`` (or,
+    failing that, ``out_dir/metrics.json``) receives the machine-readable
+    ledger plus an ASCII twin next to it; ``profile`` prints the span
+    tree and artifact-store hit rates to ``stream`` after the run.
+    Instrumentation is passive — the rendered results (and the
+    ``results/*.txt`` files) are byte-identical with it on or off.
     """
     available = {**ALL_EXPERIMENTS, **EXTENSION_EXPERIMENTS}
     selected = names or list(ALL_EXPERIMENTS)
@@ -149,25 +169,67 @@ def run_experiments(
         raise ConfigurationError(
             f"unknown experiment(s): {unknown}; available: {list(available)}"
         )
-    measurement = get_measurement(scale, jobs=jobs, registry=registry)
+    reg = registry if registry is not None else DEFAULT_REGISTRY
+    resolved_scale = reg.resolve_scale(scale)
+    measurement = get_measurement(resolved_scale, jobs=jobs, registry=reg)
+    observing = profile or metrics_path is not None or out_dir is not None
+    tracer = Tracer() if observing else NULL_TRACER
+    previous_tracer = getattr(measurement, "tracer", NULL_TRACER)
+    if callable(getattr(measurement, "attach_tracer", None)):
+        measurement.attach_tracer(tracer)
+    ledger = RunLedger(tracer)
+    ledger.set_run_info(
+        scale=resolved_scale,
+        seed=getattr(measurement, "seed", None),
+        total_instructions=getattr(measurement, "total_instructions", None),
+        experiments_requested=list(selected),
+    )
+    executor = getattr(measurement, "executor", None)
+    if executor is not None:
+        ledger.set_executor_info(
+            backend=executor.backend,
+            jobs=executor.jobs,
+            start_method=executor.start_method,
+        )
     results = []
-    for name in selected:
-        started = time.time()
-        result = available[name](measurement)
-        elapsed = time.time() - started
-        print(result, file=stream)
-        print(f"[{name} regenerated in {elapsed:.1f}s]\n", file=stream)
-        if out_dir is not None:
-            out_dir.mkdir(parents=True, exist_ok=True)
-            (out_dir / f"{name}.txt").write_text(str(result) + "\n")
-            payload = {
-                "experiment_id": result.experiment_id,
-                "title": result.title,
-                "paper_notes": result.paper_notes,
-                "data": jsonable(result.data),
-            }
-            (out_dir / f"{name}.json").write_text(json.dumps(payload, indent=2))
-        results.append(result)
+    try:
+        for name in selected:
+            started = time.perf_counter()
+            with tracer.span(name):
+                result = available[name](measurement)
+            elapsed = time.perf_counter() - started
+            ledger.record_experiment(name, elapsed)
+            print(result, file=stream)
+            print(f"[{name} regenerated in {elapsed:.1f}s]\n", file=stream)
+            if out_dir is not None:
+                out_dir.mkdir(parents=True, exist_ok=True)
+                (out_dir / f"{name}.txt").write_text(str(result) + "\n")
+                payload = {
+                    "experiment_id": result.experiment_id,
+                    "title": result.title,
+                    "paper_notes": result.paper_notes,
+                    "data": jsonable(result.data),
+                }
+                (out_dir / f"{name}.json").write_text(json.dumps(payload, indent=2))
+            results.append(result)
+    finally:
+        if callable(getattr(measurement, "attach_tracer", None)):
+            measurement.attach_tracer(previous_tracer)
+    store = getattr(measurement, "store", None)
+    if store is not None:
+        ledger.snapshot_store(store.stats())
+    resolved_metrics = metrics_path
+    if resolved_metrics is None and out_dir is not None:
+        resolved_metrics = out_dir / "metrics.json"
+    if resolved_metrics is not None:
+        resolved_metrics = Path(resolved_metrics)
+        ledger.write(resolved_metrics)
+        resolved_metrics.with_suffix(".txt").write_text(
+            ledger.render_summary() + "\n"
+        )
+    if profile:
+        print("-- profile --", file=stream)
+        print(ledger.render_summary(), file=stream)
     return results
 
 
@@ -197,6 +259,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="worker processes for trace synthesis and design sweeps (default: 1)",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the span tree and artifact-store hit rates after the run",
+    )
+    parser.add_argument(
+        "--metrics",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the machine-readable run ledger (metrics.json) here "
+        "(default with --out: OUT/metrics.json)",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="print the available experiment names and exit",
@@ -222,7 +297,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.extensions:
         names = (names or list(ALL_EXPERIMENTS)) + list(EXTENSION_EXPERIMENTS)
     try:
-        run_experiments(names, scale=args.scale, out_dir=args.out, jobs=args.jobs)
+        run_experiments(
+            names,
+            scale=args.scale,
+            out_dir=args.out,
+            jobs=args.jobs,
+            profile=args.profile,
+            metrics_path=args.metrics,
+        )
     except ConfigurationError as exc:
         # e.g. an invalid REPRO_SCALE env var, which --scale can't pre-check
         print(f"error: {exc}", file=sys.stderr)

@@ -1,0 +1,187 @@
+"""Machine-readable record of one experiment run.
+
+A :class:`RunLedger` gathers everything observable about a run — the
+resolved scale and seed, the sweep executor's backend and worker count,
+per-experiment wall times, an :class:`~repro.engine.store.StoreStats`
+snapshot, and the tracer's span forest — and serializes it as
+``metrics.json`` under the :data:`LEDGER_SCHEMA` schema id.  The same
+data renders as an ASCII summary through :mod:`repro.utils.tables`, so
+``--profile`` output and the committed ``BENCH_*.json`` trajectory files
+are two views of one record.
+
+The ledger is an output-only artifact: nothing in the harness reads it
+back during a run, so writing (or not writing) it can never perturb
+``results/*.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.obs.tracer import Tracer, render_span_tree
+from repro.utils.tables import render_table
+
+__all__ = ["LEDGER_SCHEMA", "RunLedger", "validate_metrics"]
+
+#: Schema identifier embedded in (and required of) every metrics.json.
+LEDGER_SCHEMA = "repro.obs/run-ledger/v1"
+
+#: Top-level keys every ledger payload must carry.
+_REQUIRED_KEYS = ("schema", "run", "executor", "experiments", "store", "spans")
+
+
+class RunLedger:
+    """Collects run metadata, per-experiment timings, and store counters."""
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+        self.tracer = tracer
+        self.run_info: Dict[str, Any] = {}
+        self.executor_info: Dict[str, Any] = {}
+        self.experiments: List[Dict[str, Any]] = []
+        self.store_stats: Dict[str, Any] = {}
+
+    # -- recording -------------------------------------------------------------
+
+    def set_run_info(self, **info: Any) -> None:
+        """Merge run-level metadata (scale, seed, instruction budget...)."""
+        self.run_info.update(info)
+
+    def set_executor_info(
+        self, backend: str, jobs: int, start_method: Optional[str] = None
+    ) -> None:
+        self.executor_info = {
+            "backend": backend,
+            "jobs": jobs,
+            "start_method": start_method,
+        }
+
+    def record_experiment(self, name: str, wall_s: float) -> None:
+        self.experiments.append({"name": name, "wall_s": wall_s})
+
+    def snapshot_store(self, stats: Any) -> None:
+        """Record an :class:`~repro.engine.store.StoreStats` snapshot."""
+        self.store_stats = dict(vars(stats))
+        self.store_stats["hit_rate"] = stats.hit_rate
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        total = sum(entry["wall_s"] for entry in self.experiments)
+        run = dict(self.run_info)
+        run.setdefault("wall_s", total)
+        return {
+            "schema": LEDGER_SCHEMA,
+            "run": run,
+            "executor": dict(self.executor_info),
+            "experiments": list(self.experiments),
+            "store": dict(self.store_stats),
+            "spans": self.tracer.to_list() if self.tracer is not None else [],
+        }
+
+    def write(self, path: Path) -> Path:
+        """Write ``metrics.json``; non-finite floats are never emitted."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, allow_nan=False) + "\n"
+        )
+        return path
+
+    @staticmethod
+    def load(path: Path) -> Dict[str, Any]:
+        """Read back a metrics.json, validating it against the schema."""
+        payload = json.loads(Path(path).read_text())
+        validate_metrics(payload)
+        return payload
+
+    # -- rendering -------------------------------------------------------------
+
+    def render_summary(self) -> str:
+        """ASCII summary: run info, per-experiment walls, store counters."""
+        sections: List[str] = []
+        info = {**self.run_info, **{f"executor.{k}": v for k, v in self.executor_info.items()}}
+        if info:
+            sections.append(
+                render_table(
+                    ["key", "value"],
+                    [[key, _cell(value)] for key, value in sorted(info.items())],
+                    title="run",
+                )
+            )
+        if self.experiments:
+            sections.append(
+                render_table(
+                    ["experiment", "wall (s)"],
+                    [[e["name"], e["wall_s"]] for e in self.experiments],
+                    title="experiments",
+                )
+            )
+        if self.store_stats:
+            sections.append(
+                render_table(
+                    ["counter", "value"],
+                    [
+                        [key, _cell(value)]
+                        for key, value in sorted(self.store_stats.items())
+                    ],
+                    title="artifact store",
+                )
+            )
+        if self.tracer is not None and self.tracer.roots:
+            sections.append("spans\n" + render_span_tree(self.tracer.roots))
+        return "\n\n".join(sections)
+
+
+def _cell(value: Any) -> Any:
+    """Table cell coercion: render_table accepts str/int/float/None only."""
+    if value is None or isinstance(value, (str, int, float)):
+        return value
+    return str(value)
+
+
+def validate_metrics(payload: Dict[str, Any]) -> None:
+    """Raise :class:`ConfigurationError` unless ``payload`` is a valid ledger.
+
+    Checked: schema id, required top-level keys, experiment entries with
+    ``name``/``wall_s``, span nodes with ``name``/``wall_s`` recursively,
+    and that no float anywhere is non-finite (strict-JSON guarantee).
+    """
+    if not isinstance(payload, dict):
+        raise ConfigurationError("metrics payload must be a JSON object")
+    missing = [key for key in _REQUIRED_KEYS if key not in payload]
+    if missing:
+        raise ConfigurationError(f"metrics payload missing keys: {missing}")
+    if payload["schema"] != LEDGER_SCHEMA:
+        raise ConfigurationError(
+            f"unknown metrics schema {payload['schema']!r} "
+            f"(expected {LEDGER_SCHEMA!r})"
+        )
+    for entry in payload["experiments"]:
+        if not isinstance(entry, dict) or "name" not in entry or "wall_s" not in entry:
+            raise ConfigurationError(f"malformed experiment entry: {entry!r}")
+    _check_spans(payload["spans"])
+    _check_finite(payload, path="$")
+
+
+def _check_spans(spans: Any) -> None:
+    if not isinstance(spans, list):
+        raise ConfigurationError("spans must be a list")
+    for span in spans:
+        if not isinstance(span, dict) or "name" not in span or "wall_s" not in span:
+            raise ConfigurationError(f"malformed span node: {span!r}")
+        _check_spans(span.get("children", []))
+
+
+def _check_finite(value: Any, path: str) -> None:
+    if isinstance(value, float) and not math.isfinite(value):
+        raise ConfigurationError(f"non-finite float at {path}")
+    if isinstance(value, dict):
+        for key, item in value.items():
+            _check_finite(item, f"{path}.{key}")
+    elif isinstance(value, list):
+        for i, item in enumerate(value):
+            _check_finite(item, f"{path}[{i}]")

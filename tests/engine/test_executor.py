@@ -6,11 +6,14 @@ identical DesignPoint lists (same order, same TPI values) on the
 Figure 12 grid.
 """
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core import DesignOptimizer, SuiteMeasurement, SystemConfig
-from repro.engine.executor import SweepExecutor
+from repro.engine import executor as executor_module
+from repro.engine.executor import SweepExecutor, retire_inherited
 from repro.errors import ConfigurationError
 from repro.workload import benchmark_by_name
 
@@ -18,6 +21,31 @@ from repro.workload import benchmark_by_name
 def _square(value):
     """Module-level so the process backend can pickle it."""
     return value * value
+
+
+def _exit_hard(value):
+    """Worker task that dies without cleanup (simulates an OOM kill)."""
+    os._exit(13)
+
+
+def _crash_until_flag(item):
+    """Dies until the flag file exists; idempotent across retries."""
+    flag, value = item
+    if not os.path.exists(flag):
+        with open(flag, "w") as handle:
+            handle.write("crashed once")
+        os._exit(1)
+    return value * value
+
+
+@pytest.fixture
+def clean_fork_state():
+    """Isolate and restore the module-global fork-inheritance table."""
+    saved = dict(executor_module._FORK_INHERITED)
+    executor_module._FORK_INHERITED.clear()
+    yield executor_module._FORK_INHERITED
+    executor_module._FORK_INHERITED.clear()
+    executor_module._FORK_INHERITED.update(saved)
 
 
 def _tiny_measurement(executor=None):
@@ -81,6 +109,82 @@ class TestProcessMap:
             ]
         finally:
             executor.shutdown()
+
+
+class TestPrimeRetirement:
+    def test_priming_new_digest_retires_previous_session(self, clean_fork_state):
+        # Regression: _FORK_INHERITED grew without bound — priming a new
+        # scale leaked every previously primed warm session forever.
+        executor = SweepExecutor(jobs=2)
+        first, second = object(), object()
+        executor.prime("digest-a", first)
+        executor.prime("digest-b", second)
+        assert clean_fork_state == {"digest-b": second}
+
+    def test_priming_same_digest_replaces_session(self, clean_fork_state):
+        executor = SweepExecutor(jobs=2)
+        old, new = object(), object()
+        executor.prime("digest-a", old)
+        executor.prime("digest-a", new)
+        assert clean_fork_state == {"digest-a": new}
+
+    def test_repriming_same_session_is_noop(self, clean_fork_state):
+        executor = SweepExecutor(jobs=2)
+        session = object()
+        executor.prime("digest-a", session)
+        executor._ensure_pool()
+        executor.prime("digest-a", session)
+        # The no-op must not have retired the (still valid) pool.
+        assert executor._pool is not None
+        executor.shutdown()
+
+    def test_retire_inherited_hook(self, clean_fork_state):
+        executor = SweepExecutor(jobs=2)
+        executor.prime("digest-a", object())
+        retire_inherited("digest-other")  # unknown digest: no-op
+        assert "digest-a" in clean_fork_state
+        retire_inherited("digest-a")
+        assert clean_fork_state == {}
+        executor.prime("digest-b", object())
+        retire_inherited()  # no argument: clear everything
+        assert clean_fork_state == {}
+
+
+class TestBrokenPoolRecovery:
+    def test_persistent_crash_raises_configuration_error(self):
+        # A worker that always dies must surface a clean library error,
+        # not a raw BrokenProcessPool, after one fresh-pool retry.
+        executor = SweepExecutor(jobs=2)
+        try:
+            with pytest.raises(ConfigurationError, match="worker pool crashed"):
+                executor.map(_exit_hard, list(range(8)))
+        finally:
+            executor.shutdown()
+
+    def test_executor_usable_after_pool_crash(self):
+        executor = SweepExecutor(jobs=2)
+        try:
+            with pytest.raises(ConfigurationError):
+                executor.map(_exit_hard, list(range(8)))
+            # Regression: the broken pool used to stay wedged in
+            # self._pool, failing every later map() call too.
+            assert executor.map(_square, list(range(6))) == [
+                n * n for n in range(6)
+            ]
+        finally:
+            executor.shutdown()
+
+    def test_single_crash_recovers_on_retry(self, tmp_path):
+        flag = str(tmp_path / "crashed-once")
+        executor = SweepExecutor(jobs=2)
+        try:
+            result = executor.map(
+                _crash_until_flag, [(flag, n) for n in range(8)]
+            )
+        finally:
+            executor.shutdown()
+        assert result == [n * n for n in range(8)]
+        assert os.path.exists(flag)
 
 
 class TestSweepEquivalence:

@@ -56,6 +56,34 @@ class TestSessionRegistry:
         a.set("quick", measurement)
         assert "quick" not in b
 
+    def test_swapping_sessions_retires_primed_fork_state(self, measurement):
+        # Regression: replacing or discarding a session left its primed
+        # copy in the executor's fork-inheritance table forever.
+        from repro.engine import executor as executor_module
+
+        digest = measurement.spec().digest()
+        saved = dict(executor_module._FORK_INHERITED)
+        executor_module._FORK_INHERITED.clear()
+        try:
+            registry = SessionRegistry()
+            registry.set("quick", measurement)
+            executor_module._FORK_INHERITED[digest] = measurement
+            registry.discard("quick")
+            assert digest not in executor_module._FORK_INHERITED
+
+            registry.set("quick", measurement)
+            executor_module._FORK_INHERITED[digest] = measurement
+            registry.set("quick", object())  # replaced by a stand-in
+            assert digest not in executor_module._FORK_INHERITED
+
+            registry.set("full", measurement)
+            executor_module._FORK_INHERITED[digest] = measurement
+            registry.clear()
+            assert executor_module._FORK_INHERITED == {}
+        finally:
+            executor_module._FORK_INHERITED.clear()
+            executor_module._FORK_INHERITED.update(saved)
+
 
 class TestMeasurementSpec:
     def _measurement(self, **kwargs):

@@ -77,6 +77,32 @@ class TestMemoryTier:
         with pytest.raises(ConfigurationError):
             ArtifactStore(memory_entries=0)
 
+    def test_cached_none_value_is_a_hit(self):
+        # Regression: None is a legitimate factory result.  The memory
+        # tier used to treat a cached None as absence, re-running the
+        # factory (and counting a miss) on every single lookup.
+        store = ArtifactStore(use_disk=False)
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return None
+
+        assert store.get_or_create("thing", 1, factory, n=1) is None
+        assert store.get_or_create("thing", 1, factory, n=1) is None
+        assert store.get_or_create("thing", 1, factory, n=1) is None
+        assert len(calls) == 1
+        stats = store.stats()
+        assert stats.misses == 1
+        assert stats.memory_hits == 2
+
+    def test_cached_none_survives_invalidate(self):
+        store = ArtifactStore(use_disk=False)
+        store.put("thing", 1, None, n=1)
+        assert store.get_or_create("thing", 1, lambda: "fresh", n=1) is None
+        store.invalidate("thing", 1, n=1)
+        assert store.get_or_create("thing", 1, lambda: "fresh", n=1) == "fresh"
+
 
 class TestDiskTier:
     def _arrays(self, n=10):
@@ -118,6 +144,54 @@ class TestDiskTier:
         )
         assert len(value["x"]) > 0
         assert fresh.stats().misses == 1
+
+    def test_validation_failure_deletes_disk_entry(self, tmp_path):
+        # Regression: an entry failing `validate` used to stay on disk,
+        # getting re-read and re-failed on every subsequent lookup.  A
+        # logically truncated bundle (empty arrays) must be removed the
+        # first time validation rejects it.
+        store = ArtifactStore(cache_dir=tmp_path)
+        store.put("trace", 1, {"x": np.array([])}, persist=True, n=1)
+        assert list(tmp_path.glob("*.npz"))
+
+        validate = lambda a: len(a.get("x", ())) > 0  # noqa: E731
+        fresh = ArtifactStore(cache_dir=tmp_path)
+        assert fresh.peek("trace", 1, persist=True, validate=validate, n=1) is None
+        assert not list(tmp_path.glob("*.npz")), "invalid entry must be deleted"
+        assert fresh.stats().invalidations == 1
+
+    def test_validation_failure_counts_one_miss_then_recreates(self, tmp_path):
+        store = ArtifactStore(cache_dir=tmp_path)
+        store.put("trace", 1, {"x": np.array([])}, persist=True, n=1)
+        validate = lambda a: len(a.get("x", ())) > 0  # noqa: E731
+
+        fresh = ArtifactStore(cache_dir=tmp_path)
+        loads = []
+
+        def factory():
+            loads.append(1)
+            return self._arrays()
+
+        value = fresh.get_or_create(
+            "trace", 1, factory, persist=True, validate=validate, n=1
+        )
+        assert len(value["x"]) > 0
+        stats = fresh.stats()
+        assert stats.misses == 1
+        assert stats.disk_hits == 0
+        assert stats.invalidations == 1
+        # The recreated (valid) entry replaced the truncated one on disk.
+        third = ArtifactStore(cache_dir=tmp_path)
+        third.get_or_create(
+            "trace",
+            1,
+            lambda: pytest.fail("valid entry must be served from disk"),
+            persist=True,
+            validate=validate,
+            n=1,
+        )
+        assert third.stats().disk_hits == 1
+        assert len(loads) == 1
 
     def test_version_bump_invalidates(self, tmp_path):
         store = ArtifactStore(cache_dir=tmp_path)

@@ -1,0 +1,110 @@
+"""RunLedger tests: schema, metrics.json round-trip, ASCII summary."""
+
+import json
+
+import pytest
+
+from repro.engine.store import ArtifactStore
+from repro.errors import ConfigurationError
+from repro.obs import LEDGER_SCHEMA, RunLedger, Tracer, validate_metrics
+
+
+def _populated_ledger():
+    tracer = Tracer()
+    with tracer.span("fig12") as span:
+        span.count("design_points", 24)
+    ledger = RunLedger(tracer)
+    ledger.set_run_info(scale="quick", seed=20513, total_instructions=400_000)
+    ledger.set_executor_info(backend="process", jobs=4, start_method=None)
+    ledger.record_experiment("fig12", 12.5)
+    store = ArtifactStore(use_disk=False)
+    store.get_or_create("thing", 1, lambda: 1, n=1)
+    store.get_or_create("thing", 1, lambda: 1, n=1)
+    ledger.snapshot_store(store.stats())
+    return ledger
+
+
+class TestRoundTrip:
+    def test_write_then_load_preserves_everything(self, tmp_path):
+        ledger = _populated_ledger()
+        path = tmp_path / "metrics.json"
+        ledger.write(path)
+        payload = RunLedger.load(path)
+        assert payload == ledger.to_dict()
+        assert payload["schema"] == LEDGER_SCHEMA
+        assert payload["run"]["scale"] == "quick"
+        assert payload["run"]["seed"] == 20513
+        assert payload["executor"] == {
+            "backend": "process",
+            "jobs": 4,
+            "start_method": None,
+        }
+        assert payload["experiments"] == [{"name": "fig12", "wall_s": 12.5}]
+        assert payload["store"]["memory_hits"] == 1
+        assert payload["store"]["misses"] == 1
+        assert payload["store"]["hit_rate"] == 0.5
+        assert payload["spans"][0]["name"] == "fig12"
+        assert payload["spans"][0]["counters"] == {"design_points": 24}
+
+    def test_written_json_is_strict(self, tmp_path):
+        path = _populated_ledger().write(tmp_path / "metrics.json")
+        # Strict parse: reject any NaN/Infinity constant in the file.
+        def _reject(token):
+            raise AssertionError(f"non-strict JSON constant {token!r}")
+
+        json.loads(path.read_text(), parse_constant=_reject)
+
+    def test_total_wall_defaults_to_experiment_sum(self):
+        ledger = RunLedger()
+        ledger.record_experiment("a", 1.0)
+        ledger.record_experiment("b", 2.5)
+        assert ledger.to_dict()["run"]["wall_s"] == pytest.approx(3.5)
+
+
+class TestValidation:
+    def test_valid_payload_passes(self):
+        validate_metrics(_populated_ledger().to_dict())
+
+    def test_missing_key_rejected(self):
+        payload = _populated_ledger().to_dict()
+        del payload["store"]
+        with pytest.raises(ConfigurationError):
+            validate_metrics(payload)
+
+    def test_wrong_schema_rejected(self):
+        payload = _populated_ledger().to_dict()
+        payload["schema"] = "something/else/v9"
+        with pytest.raises(ConfigurationError):
+            validate_metrics(payload)
+
+    def test_malformed_span_rejected(self):
+        payload = _populated_ledger().to_dict()
+        payload["spans"] = [{"name": "no-wall"}]
+        with pytest.raises(ConfigurationError):
+            validate_metrics(payload)
+
+    def test_non_finite_float_rejected(self):
+        payload = _populated_ledger().to_dict()
+        payload["run"]["wall_s"] = float("nan")
+        with pytest.raises(ConfigurationError):
+            validate_metrics(payload)
+
+    def test_write_refuses_non_finite(self, tmp_path):
+        ledger = _populated_ledger()
+        ledger.set_run_info(bad=float("inf"))
+        with pytest.raises(ValueError):
+            ledger.write(tmp_path / "metrics.json")
+
+
+class TestSummary:
+    def test_summary_mentions_all_sections(self):
+        text = _populated_ledger().render_summary()
+        assert "run" in text
+        assert "experiments" in text
+        assert "fig12" in text
+        assert "artifact store" in text
+        assert "hit_rate" in text
+        assert "spans" in text
+
+    def test_empty_ledger_renders(self):
+        assert RunLedger().render_summary() == ""
