@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 
 from repro.branchpred import BranchTargetBuffer
-from repro.cache.fastsim import direct_mapped_misses
+from repro.cache.fastsim import direct_mapped_miss_sweep, direct_mapped_misses
 from repro.cache import Cache
 from repro.timing import TimingAnalyzer, build_cpu_datapath
 from repro.trace import TraceExecutor
@@ -39,6 +39,28 @@ def test_bench_fastsim_direct_mapped(benchmark):
     blocks = (rng.random(1_000_000) ** 2 * 100_000).astype(np.int64)
     misses = benchmark(direct_mapped_misses, blocks, 1024)
     assert 0 < misses < len(blocks)
+
+
+def test_bench_fastsim_sweep_single_pass(benchmark):
+    # The whole paper size axis (six doublings) in one pass; compare
+    # against test_bench_fastsim_per_size_loop for the speedup.
+    rng = np.random.default_rng(7)
+    blocks = (rng.random(1_000_000) ** 2 * 100_000).astype(np.int64)
+    set_counts = [256 << k for k in range(6)]
+    sweep = benchmark(direct_mapped_miss_sweep, blocks, set_counts)
+    assert sweep[256] > sweep[8192] > 0
+
+
+def test_bench_fastsim_per_size_loop(benchmark):
+    rng = np.random.default_rng(7)
+    blocks = (rng.random(1_000_000) ** 2 * 100_000).astype(np.int64)
+    set_counts = [256 << k for k in range(6)]
+
+    def run():
+        return {sets: direct_mapped_misses(blocks, sets) for sets in set_counts}
+
+    counts = benchmark(run)
+    assert counts == direct_mapped_miss_sweep(blocks, set_counts)
 
 
 def test_bench_reference_cache(benchmark):

@@ -24,6 +24,7 @@ from repro.cache.fastsim import (
     direct_mapped_miss_mask,
     direct_mapped_misses,
     direct_mapped_miss_sweep,
+    direct_mapped_miss_sweep_masks,
     addresses_to_blocks,
 )
 from repro.cache.assoc_sim import associative_miss_sweep, set_associative_misses
@@ -41,6 +42,7 @@ __all__ = [
     "direct_mapped_miss_mask",
     "direct_mapped_misses",
     "direct_mapped_miss_sweep",
+    "direct_mapped_miss_sweep_masks",
     "addresses_to_blocks",
     "set_associative_misses",
     "associative_miss_sweep",

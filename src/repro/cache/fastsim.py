@@ -8,11 +8,19 @@ set's references together in time order, after which the comparison is a
 single vectorized pass.  This is the workhorse behind every cache sweep in
 the experiments; its equivalence to the step-by-step
 :class:`~repro.cache.cache.Cache` is enforced by property-based tests.
+
+For whole size-axis sweeps, the power-of-two set counts *nest*: the set
+index of a ``2^k``-set cache is the low ``k`` bits of the block index, so
+every swept geometry shares one grouping refined bit by bit.
+:func:`direct_mapped_miss_sweep` exploits this to produce exact miss
+counts for every size in a single pass over the reference stream instead
+of one independent simulation per size (see the function docstring for
+the argument).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,6 +32,7 @@ __all__ = [
     "direct_mapped_miss_mask",
     "direct_mapped_misses",
     "direct_mapped_miss_sweep",
+    "direct_mapped_miss_sweep_masks",
 ]
 
 
@@ -91,16 +100,164 @@ def direct_mapped_misses(block_sequence: np.ndarray, num_sets: int) -> int:
     return int(direct_mapped_miss_mask(blocks, num_sets).sum())
 
 
+def _stable_split(
+    cur: np.ndarray, idx: Optional[np.ndarray], level: int
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Stably partition every level-``level`` segment by one index bit.
+
+    ``cur`` holds block indices grouped into contiguous per-set segments
+    (one per ``2**level``-set-cache set), each segment in time order.
+    The segments need no bookkeeping arrays: they are exactly the maximal
+    runs of equal low-``level`` bits.  (Inductively: the coarse argsort
+    makes equal keys adjacent, and a split keeps each child contiguous
+    while adjacent children of *different* parents still differ in their
+    low bits, so runs never merge across segment boundaries.)
+
+    Splitting every segment on bit ``level`` — zeros first, ones after,
+    both in original order — refines the grouping to the next level's
+    sets while preserving time order within each new segment.  All O(n)
+    vector ops, no sort.
+    """
+    n = len(cur)
+    low = cur & ((1 << level) - 1)
+    is_start = np.empty(n, dtype=bool)
+    is_start[0] = True
+    np.not_equal(low[1:], low[:-1], out=is_start[1:])
+    seg_id = np.cumsum(is_start) - 1
+    seg_starts = np.flatnonzero(is_start)
+    bit = (cur >> level) & 1
+    # ones[i] = number of set bits strictly before position i.
+    ones = np.empty(n + 1, dtype=np.int64)
+    ones[0] = 0
+    np.cumsum(bit, out=ones[1:])
+    ones_at_start = ones[seg_starts]
+    seg_ends = np.append(seg_starts[1:], n)
+    ones_total_seg = ones[seg_ends] - ones_at_start
+    zeros_total_seg = (seg_ends - seg_starts) - ones_total_seg
+    start = seg_starts[seg_id]
+    ones_before = ones[:-1] - ones_at_start[seg_id]
+    zeros_before = (np.arange(n, dtype=np.int64) - start) - ones_before
+    new_pos = start + np.where(
+        bit.astype(bool), zeros_total_seg[seg_id] + ones_before, zeros_before
+    )
+    out_cur = np.empty_like(cur)
+    out_cur[new_pos] = cur
+    out_idx = None
+    if idx is not None:
+        out_idx = np.empty_like(idx)
+        out_idx[new_pos] = idx
+    return out_cur, out_idx
+
+
+def _coarse_grouping(
+    blocks: np.ndarray, level: int, want_index: bool
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Group the stream by the ``2**level``-set index, time order within.
+
+    Level 0 (a single set) is the stream itself; deeper levels cost one
+    stable argsort keyed by the low ``level`` index bits.
+    """
+    n = len(blocks)
+    if level == 0:
+        idx = np.arange(n, dtype=np.int64) if want_index else None
+        return blocks.copy(), idx
+    order = np.argsort(blocks & ((1 << level) - 1), kind="stable")
+    return blocks[order], (order if want_index else None)
+
+
+def _sweep_levels(
+    blocks: np.ndarray, levels: Sequence[int], want_masks: bool
+) -> Tuple[Dict[int, int], Dict[int, np.ndarray]]:
+    """Single-pass hit harvest at every requested ``log2(num_sets)`` level.
+
+    The nesting argument: a ``2^k``-set cache indexes with the low ``k``
+    bits of the block index, so the set partition at level ``k+1`` refines
+    the one at level ``k`` by exactly one bit.  Starting from one stable
+    grouping at the coarsest swept level (conceptually, a stable argsort
+    keyed by the largest swept cache's set index, peeled one bit at a
+    time), each refinement is a stable in-segment split that keeps every
+    set's reference substream in time order.  Within such a substream a
+    reference hits iff its immediate predecessor is the *same block*
+    (same set and same tag together are just block equality), so every
+    level's exact miss count — and, scattered back through the carried
+    time indices, its per-reference miss mask — falls out of one
+    vectorized adjacent comparison per level.
+    """
+    n = len(blocks)
+    counts: Dict[int, int] = {}
+    masks: Dict[int, np.ndarray] = {}
+    wanted = set(levels)
+    lo, hi = min(wanted), max(wanted)
+    cur, idx = _coarse_grouping(blocks, lo, want_masks)
+
+    def harvest(level: int) -> None:
+        same = np.empty(n, dtype=bool)
+        same[0] = False
+        np.equal(cur[1:], cur[:-1], out=same[1:])
+        # Segment boundaries need no special casing: adjacent elements in
+        # different segments live in different sets, so their blocks differ.
+        counts[level] = n - int(np.count_nonzero(same))
+        if want_masks:
+            miss = np.empty(n, dtype=bool)
+            miss[idx] = ~same
+            masks[level] = miss
+
+    if lo in wanted:
+        harvest(lo)
+    for level in range(lo + 1, hi + 1):
+        cur, idx = _stable_split(cur, idx, level - 1)
+        if level in wanted:
+            harvest(level)
+    return counts, masks
+
+
+def _checked_levels(set_counts: Sequence[int]) -> Dict[int, int]:
+    """Map ``num_sets -> log2(num_sets)``, validating every entry."""
+    levels: Dict[int, int] = {}
+    for num_sets in set_counts:
+        if not is_power_of_two(num_sets):
+            raise ConfigurationError(
+                f"set count must be a power of two: {num_sets}"
+            )
+        levels[int(num_sets)] = log2_int(int(num_sets))
+    return levels
+
+
 def direct_mapped_miss_sweep(
     block_sequence: np.ndarray, set_counts: Sequence[int]
 ) -> Dict[int, int]:
-    """Miss counts for several cache sizes over one block sequence.
+    """Exact miss counts for several cache sizes in one pass.
 
-    Returns ``{num_sets: misses}``.  Each size is an independent exact
-    simulation; the sweep exists for convenience and a small shared-setup
-    saving.
+    Returns ``{num_sets: misses}``.  All sizes are swept together: one
+    coarse stable grouping plus one O(n) stable bit-split per doubling of
+    the set count, instead of an independent O(n log n) simulation per
+    size.  Results are bit-identical to :func:`direct_mapped_misses` per
+    size (the property-based suite enforces this against both the
+    per-size path and the step-by-step :class:`~repro.cache.cache.Cache`).
     """
     blocks = np.asarray(block_sequence, dtype=np.int64)
-    return {
-        num_sets: direct_mapped_misses(blocks, num_sets) for num_sets in set_counts
-    }
+    by_sets = _checked_levels(set_counts)
+    if not by_sets:
+        return {}
+    if len(blocks) == 0:
+        return {num_sets: 0 for num_sets in by_sets}
+    counts, _ = _sweep_levels(blocks, list(by_sets.values()), want_masks=False)
+    return {num_sets: counts[level] for num_sets, level in by_sets.items()}
+
+
+def direct_mapped_miss_sweep_masks(
+    block_sequence: np.ndarray, set_counts: Sequence[int]
+) -> Dict[int, np.ndarray]:
+    """Per-reference miss masks for several cache sizes in one pass.
+
+    Returns ``{num_sets: mask}`` with each mask in original reference
+    order, equal to :func:`direct_mapped_miss_mask` of that size.
+    """
+    blocks = np.asarray(block_sequence, dtype=np.int64)
+    by_sets = _checked_levels(set_counts)
+    if not by_sets:
+        return {}
+    if len(blocks) == 0:
+        return {num_sets: np.empty(0, dtype=bool) for num_sets in by_sets}
+    _, masks = _sweep_levels(blocks, list(by_sets.values()), want_masks=True)
+    return {num_sets: masks[level] for num_sets, level in by_sets.items()}

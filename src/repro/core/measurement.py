@@ -41,7 +41,7 @@ from repro.sched import (
     branch_delay_stats,
     expand_istream,
 )
-from repro.cache.fastsim import addresses_to_blocks, direct_mapped_misses
+from repro.cache.fastsim import addresses_to_blocks, direct_mapped_miss_sweep
 from repro.trace import execute_program
 from repro.trace.executor import ExecutionTrace
 from repro.trace.compiled import CompiledProgram
@@ -59,10 +59,21 @@ from repro.workload import (
     synthesize_program,
 )
 
-__all__ = ["SuiteMeasurement", "GENERATOR_VERSION"]
+__all__ = ["SuiteMeasurement", "GENERATOR_VERSION", "MISS_AXIS_VERSION"]
 
 #: Bump to invalidate cached traces when the generator changes behaviour.
 GENERATOR_VERSION = 5
+
+#: Version of the whole-axis miss-sweep artifacts (``imiss_axis`` /
+#: ``dmiss_axis``).  Bump when the single-pass sweep or the axis schema
+#: changes behaviour; independent of GENERATOR_VERSION so a sweep change
+#: never invalidates the (far more expensive) cached traces.
+MISS_AXIS_VERSION = 1
+
+#: Largest per-side cache the paper sweeps (KW).  A miss-axis artifact
+#: always covers at least this size, so every size of the paper grid for
+#: one (stream, block) pair is answered by a single sweep artifact.
+_AXIS_MAX_KW = 32
 
 
 def _trace_arrays_valid(arrays: Mapping[str, np.ndarray]) -> bool:
@@ -422,7 +433,10 @@ class SuiteMeasurement:
         geometries, which would corrupt indexing downstream — reject the
         configuration instead.
         """
-        words = kw_to_words(size_kw)
+        try:
+            words = kw_to_words(size_kw)
+        except ConfigurationError as exc:
+            raise ConfigurationError(f"invalid L1-{side} geometry: {exc}") from exc
         sets = words // block_words
         if words % block_words != 0 or sets <= 0 or not is_power_of_two(sets):
             raise ConfigurationError(
@@ -432,42 +446,111 @@ class SuiteMeasurement:
             )
         return sets
 
+    def _axis_top(self, block_words: int, sets: int) -> int:
+        """Top set count of the miss-axis artifact covering ``sets``.
+
+        The axis always extends to the paper's largest per-side cache, so
+        every size of the paper grid for one (stream, block) pair maps to
+        one shared artifact; larger one-off requests get a wider axis.
+        """
+        words = kw_to_words(_AXIS_MAX_KW)
+        if words % block_words == 0:
+            paper_top = words // block_words
+            if is_power_of_two(paper_top):
+                sets = max(sets, paper_top)
+        return sets
+
+    def icache_miss_axis(
+        self, slots: int, block_words: int, max_sets: int
+    ) -> Dict[int, int]:
+        """L1-I misses for every power-of-two set count up to ``max_sets``.
+
+        One content-addressed artifact per (stream, block) pair holds the
+        whole size axis, produced by a single pass over the instruction
+        stream (:func:`~repro.cache.fastsim.direct_mapped_miss_sweep`).
+        """
+        set_counts = [1 << k for k in range(log2_int(max_sets) + 1)]
+
+        def sweep() -> Dict[int, int]:
+            self.tracer.count("cache_sweeps")
+            stream = self.istream_blocks(slots, block_words)
+            with self.tracer.span(
+                "imiss.sweep", slots=slots, block_words=block_words, max_sets=max_sets
+            ) as span:
+                span.count("sizes", len(set_counts))
+                span.count("references", len(stream))
+                return direct_mapped_miss_sweep(stream, set_counts)
+
+        return self.store.get_or_create(
+            "imiss_axis",
+            MISS_AXIS_VERSION,
+            sweep,
+            slots=slots,
+            block_words=block_words,
+            max_sets=max_sets,
+        )
+
+    def dcache_miss_axis(self, block_words: int, max_sets: int) -> Dict[int, int]:
+        """L1-D misses for every power-of-two set count up to ``max_sets``."""
+        set_counts = [1 << k for k in range(log2_int(max_sets) + 1)]
+
+        def sweep() -> Dict[int, int]:
+            self.tracer.count("cache_sweeps")
+            stream = self.dstream_blocks(block_words)
+            with self.tracer.span(
+                "dmiss.sweep", block_words=block_words, max_sets=max_sets
+            ) as span:
+                span.count("sizes", len(set_counts))
+                span.count("references", len(stream))
+                return direct_mapped_miss_sweep(stream, set_counts)
+
+        return self.store.get_or_create(
+            "dmiss_axis",
+            MISS_AXIS_VERSION,
+            sweep,
+            block_words=block_words,
+            max_sets=max_sets,
+        )
+
+    def icache_miss_sweep(
+        self, slots: int, block_words: int, sizes_kw: Sequence[float]
+    ) -> Dict[float, int]:
+        """L1-I misses for many cache sizes at once (one shared sweep)."""
+        sets_by_size = {
+            size_kw: self._derived_sets("I", block_words, size_kw)
+            for size_kw in sizes_kw
+        }
+        if not sets_by_size:
+            return {}
+        top = self._axis_top(block_words, max(sets_by_size.values()))
+        axis = self.icache_miss_axis(slots, block_words, top)
+        return {size_kw: axis[sets] for size_kw, sets in sets_by_size.items()}
+
+    def dcache_miss_sweep(
+        self, block_words: int, sizes_kw: Sequence[float]
+    ) -> Dict[float, int]:
+        """L1-D misses for many cache sizes at once (one shared sweep)."""
+        sets_by_size = {
+            size_kw: self._derived_sets("D", block_words, size_kw)
+            for size_kw in sizes_kw
+        }
+        if not sets_by_size:
+            return {}
+        top = self._axis_top(block_words, max(sets_by_size.values()))
+        axis = self.dcache_miss_axis(block_words, top)
+        return {size_kw: axis[sets] for size_kw, sets in sets_by_size.items()}
+
     def icache_misses(self, slots: int, block_words: int, size_kw: float) -> int:
         """L1-I misses for one configuration over the whole session."""
         sets = self._derived_sets("I", block_words, size_kw)
-
-        def simulate() -> int:
-            self.tracer.count("cache_sims")
-            with self.tracer.span("imiss.simulate", slots=slots, sets=sets):
-                return direct_mapped_misses(
-                    self.istream_blocks(slots, block_words), sets
-                )
-
-        return self.store.get_or_create(
-            "imiss",
-            GENERATOR_VERSION,
-            simulate,
-            slots=slots,
-            block_words=block_words,
-            sets=sets,
-        )
+        axis = self.icache_miss_axis(slots, block_words, self._axis_top(block_words, sets))
+        return axis[sets]
 
     def dcache_misses(self, block_words: int, size_kw: float) -> int:
         """L1-D misses for one configuration over the whole session."""
         sets = self._derived_sets("D", block_words, size_kw)
-
-        def simulate() -> int:
-            self.tracer.count("cache_sims")
-            with self.tracer.span("dmiss.simulate", sets=sets):
-                return direct_mapped_misses(self.dstream_blocks(block_words), sets)
-
-        return self.store.get_or_create(
-            "dmiss",
-            GENERATOR_VERSION,
-            simulate,
-            block_words=block_words,
-            sets=sets,
-        )
+        axis = self.dcache_miss_axis(block_words, self._axis_top(block_words, sets))
+        return axis[sets]
 
     # -- reporting ---------------------------------------------------------------
 

@@ -107,8 +107,12 @@ class Tracer:
         self._stack.append(span)
 
     def _pop(self, span: Span) -> None:
-        # Pop back to (and including) `span`; tolerates a mismatched exit
-        # rather than corrupting the whole tree.
+        # Pop back to (and including) `span`.  A span that is not on the
+        # stack at all (a mismatched or double exit) must be a no-op:
+        # unwinding until "found" would empty the stack and orphan every
+        # open ancestor, silently reparenting their later children.
+        if not any(entry is span for entry in self._stack):
+            return
         while self._stack:
             if self._stack.pop() is span:
                 break

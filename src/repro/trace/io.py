@@ -11,8 +11,10 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 import tempfile
+import zipfile
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Union
 
@@ -42,6 +44,12 @@ def cache_key(**params: Union[str, int, float, bool, None]) -> str:
     """Stable hash key for a parameter combination.
 
     Only JSON-scalar parameters are accepted so the key is unambiguous.
+    Non-finite floats are rejected: ``json.dumps`` would emit bare
+    ``NaN``/``Infinity`` tokens (not strict JSON), and NaN's ``x != x``
+    semantics make it meaningless as a cache identity.  The float zeros
+    ``0.0`` and ``-0.0`` hash to *different* keys — JSON preserves the
+    sign, and two parameter sets that serialize differently must never
+    collide — so callers wanting them unified normalize before keying.
 
     >>> cache_key(bench="gcc", n=100) == cache_key(n=100, bench="gcc")
     True
@@ -49,6 +57,10 @@ def cache_key(**params: Union[str, int, float, bool, None]) -> str:
     for name, value in params.items():
         if value is not None and not isinstance(value, (str, int, float, bool)):
             raise TraceError(f"cache parameter {name!r} is not a scalar: {value!r}")
+        if isinstance(value, float) and not math.isfinite(value):
+            raise TraceError(
+                f"cache parameter {name!r} is not finite: {value!r}"
+            )
     blob = json.dumps(params, sort_keys=True).encode()
     return hashlib.sha256(blob).hexdigest()[:24]
 
@@ -105,7 +117,9 @@ def load_arrays(
     try:
         with np.load(path) as bundle:
             return {name: bundle[name] for name in bundle.files}
-    except (OSError, ValueError):
+    except (OSError, ValueError, EOFError, zipfile.BadZipFile):
+        # BadZipFile/EOFError: a truncated or corrupt archive that passes
+        # the zip magic check; neither derives from OSError or ValueError.
         try:
             path.unlink()
         except OSError:

@@ -31,12 +31,23 @@ WORD_BYTES = 4
 def kw_to_words(kilowords: float) -> int:
     """Convert a size in kilowords to words.
 
+    Fractional kiloword sizes are fine as long as they denote a whole
+    number of words (0.5 KW = 512 W); anything else is rejected rather
+    than silently truncated — ``int(0.3 * 1024)`` would yield 307 words,
+    a geometry the caller never asked for and one that round-trips wrong
+    through :func:`words_to_kw`.
+
     >>> kw_to_words(1)
     1024
     >>> kw_to_words(32)
     32768
     """
-    words = int(kilowords * 1024)
+    exact = kilowords * 1024
+    words = int(exact)
+    if words != exact:
+        raise ConfigurationError(
+            f"{kilowords} KW is not a whole number of words"
+        )
     if words <= 0:
         raise ConfigurationError(f"cache size must be positive, got {kilowords} KW")
     return words

@@ -5,7 +5,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cache import Cache, addresses_to_blocks, direct_mapped_miss_sweep, direct_mapped_misses
+from repro.cache import (
+    Cache,
+    addresses_to_blocks,
+    direct_mapped_miss_sweep,
+    direct_mapped_miss_sweep_masks,
+    direct_mapped_misses,
+)
+from repro.cache.fastsim import direct_mapped_miss_mask
 from repro.errors import ConfigurationError
 
 
@@ -72,6 +79,103 @@ class TestDirectMappedMisses:
         blocks = (rng.random(50_000) ** 3 * 4096).astype(np.int64)
         misses = [direct_mapped_misses(blocks, 1 << k) for k in range(4, 13)]
         assert all(a >= b for a, b in zip(misses, misses[1:]))
+
+
+class TestSinglePassSweep:
+    """The single-pass multi-geometry sweep vs. the per-size oracles."""
+
+    def test_empty_stream(self):
+        empty = np.array([], dtype=np.int64)
+        assert direct_mapped_miss_sweep(empty, [1, 8, 64]) == {1: 0, 8: 0, 64: 0}
+        masks = direct_mapped_miss_sweep_masks(empty, [1, 8])
+        assert all(mask.tolist() == [] for mask in masks.values())
+
+    def test_empty_sweep(self):
+        assert direct_mapped_miss_sweep(np.array([1, 2, 3]), []) == {}
+        assert direct_mapped_miss_sweep_masks(np.array([1, 2, 3]), []) == {}
+
+    def test_single_set_cache(self):
+        # One set: a reference hits iff it repeats the immediately
+        # preceding block.
+        blocks = np.array([5, 5, 7, 5, 5, 7, 7])
+        assert direct_mapped_miss_sweep(blocks, [1]) == {1: 4}
+        assert direct_mapped_misses(blocks, 1) == 4
+
+    def test_stream_touching_only_one_set(self):
+        # Blocks 0, 64, 128 all map to set 0 of a 64-set cache; the other
+        # 63 sets stay cold, and every size still counts exactly.
+        blocks = np.array([0, 64, 128, 0, 64, 128, 0])
+        sweep = direct_mapped_miss_sweep(blocks, [1, 64, 128, 256])
+        for sets, misses in sweep.items():
+            assert misses == direct_mapped_misses(blocks, sets)
+        assert sweep[256] == 3  # fully separated: cold misses only
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            direct_mapped_miss_sweep(np.array([0]), [16, 12])
+        with pytest.raises(ConfigurationError):
+            direct_mapped_miss_sweep_masks(np.array([0]), [0])
+
+    def test_duplicate_and_unsorted_sizes(self):
+        blocks = np.array([0, 9, 0, 17, 9, 0])
+        sweep = direct_mapped_miss_sweep(blocks, [64, 2, 64, 8])
+        assert set(sweep) == {2, 8, 64}
+        for sets, misses in sweep.items():
+            assert misses == direct_mapped_misses(blocks, sets)
+
+    @given(
+        blocks=st.lists(st.integers(min_value=0, max_value=600), max_size=300),
+        levels=st.sets(st.integers(min_value=0, max_value=10), min_size=1, max_size=5),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_counts_match_per_size_oracle(self, blocks, levels):
+        """Random streams x random sweeps == the per-size exact path."""
+        stream = np.array(blocks, dtype=np.int64)
+        set_counts = [1 << level for level in levels]
+        sweep = direct_mapped_miss_sweep(stream, set_counts)
+        assert sweep == {
+            sets: direct_mapped_misses(stream, sets) for sets in set_counts
+        }
+
+    @given(
+        blocks=st.lists(st.integers(min_value=0, max_value=255), max_size=200),
+        levels=st.sets(st.integers(min_value=0, max_value=8), min_size=1, max_size=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_counts_match_reference_cache(self, blocks, levels):
+        """Random streams x random sweeps == the step-by-step Cache."""
+        stream = np.array(blocks, dtype=np.int64)
+        block_words = 4
+        sweep = direct_mapped_miss_sweep(stream, [1 << level for level in levels])
+        for sets, misses in sweep.items():
+            oracle = Cache(size_words=sets * block_words, block_words=block_words)
+            for block in blocks:
+                oracle.access(block * block_words * 4)
+            assert misses == oracle.stats.misses
+
+    @given(
+        blocks=st.lists(st.integers(min_value=0, max_value=600), max_size=250),
+        levels=st.sets(st.integers(min_value=0, max_value=10), min_size=1, max_size=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_masks_match_per_size_oracle(self, blocks, levels):
+        """Sweep miss masks == per-size masks, in reference order."""
+        stream = np.array(blocks, dtype=np.int64)
+        set_counts = [1 << level for level in levels]
+        masks = direct_mapped_miss_sweep_masks(stream, set_counts)
+        for sets in set_counts:
+            assert np.array_equal(masks[sets], direct_mapped_miss_mask(stream, sets))
+
+    def test_skewed_reuse_large_stream(self):
+        rng = np.random.default_rng(23)
+        blocks = (rng.random(60_000) ** 3 * 16384).astype(np.int64)
+        set_counts = [1 << k for k in range(0, 15, 2)]
+        sweep = direct_mapped_miss_sweep(blocks, set_counts)
+        for sets in set_counts:
+            assert sweep[sets] == direct_mapped_misses(blocks, sets)
+        # Nesting property: a hit in a smaller cache is a hit in a larger.
+        ordered = [sweep[sets] for sets in sorted(set_counts)]
+        assert all(a >= b for a, b in zip(ordered, ordered[1:]))
 
 
 class TestMissMask:

@@ -112,6 +112,41 @@ class TestStreamsAndMisses:
         with pytest.raises(ConfigurationError, match="L1-D"):
             measurement.dcache_misses(4, 1.5)
 
+    def test_miss_sweep_matches_single_size_lookups(self, measurement):
+        sizes = (1, 4, 16)
+        isweep = measurement.icache_miss_sweep(0, 4, sizes)
+        dsweep = measurement.dcache_miss_sweep(4, sizes)
+        for size in sizes:
+            assert isweep[size] == measurement.icache_misses(0, 4, size)
+            assert dsweep[size] == measurement.dcache_misses(4, size)
+
+    def test_miss_sweep_matches_per_size_simulation(self, measurement):
+        from repro.cache.fastsim import direct_mapped_misses
+        from repro.utils.units import kw_to_words
+
+        for size in (1, 4, 16):
+            sets = kw_to_words(size) // 4
+            assert measurement.icache_misses(0, 4, size) == direct_mapped_misses(
+                measurement.istream_blocks(0, 4), sets
+            )
+            assert measurement.dcache_misses(4, size) == direct_mapped_misses(
+                measurement.dstream_blocks(4), sets
+            )
+
+    def test_miss_axis_is_one_artifact_per_stream_block_pair(self, measurement):
+        # Every paper-grid size for one (stream, block) pair must resolve
+        # to the same whole-axis artifact: after the first lookup, the
+        # remaining sizes are pure store hits (no new sweep runs).
+        measurement.icache_misses(1, 4, 1)
+        before = measurement.store.stats().misses
+        for size in (2, 4, 8, 16, 32):
+            measurement.icache_misses(1, 4, size)
+        assert measurement.store.stats().misses == before
+
+    def test_empty_miss_sweep(self, measurement):
+        assert measurement.icache_miss_sweep(0, 4, ()) == {}
+        assert measurement.dcache_miss_sweep(4, ()) == {}
+
     def test_benchmark_rows_regenerate_table1(self, measurement):
         rows = measurement.benchmark_rows()
         assert len(rows) == len(measurement.specs)

@@ -1,0 +1,54 @@
+"""Sweep benchmark CLI tests: grid shape, ledger contents, equivalence."""
+
+import io
+
+import pytest
+
+from repro.engine.session import SessionRegistry
+from repro.errors import ConfigurationError
+from repro.experiments.bench_sweep import grid_cases, main, run_benchmark
+from repro.obs.ledger import validate_metrics
+
+
+@pytest.fixture
+def registry(measurement):
+    registry = SessionRegistry()
+    registry.set("quick", measurement)
+    return registry
+
+
+class TestGridCases:
+    def test_covers_both_streams_and_all_blocks(self, measurement):
+        cases = {label for label, _, _ in grid_cases(measurement)}
+        assert {f"istream[b={b},B=4]" for b in range(4)} <= cases
+        assert {f"dstream[B={bw}]" for bw in (4, 8, 16)} <= cases
+
+    def test_axes_span_the_paper_sizes(self, measurement):
+        for label, _, set_counts in grid_cases(measurement):
+            assert len(set_counts) == 6  # 1..32 KW
+            assert all(b == 2 * a for a, b in zip(set_counts, set_counts[1:]))
+
+
+class TestRunBenchmark:
+    def test_ledger_is_valid_and_records_speedup(self, registry, tmp_path):
+        ledger = run_benchmark(
+            scale="quick", repeats=1, registry=registry, stream=io.StringIO()
+        )
+        names = [entry["name"] for entry in ledger.experiments]
+        assert len(names) == 2 * len(grid_cases(registry.get("quick")))
+        assert any(name.startswith("legacy:") for name in names)
+        assert any(name.startswith("sweep:") for name in names)
+        assert ledger.run_info["speedup"] > 0
+        path = ledger.write(tmp_path / "bench.json")
+        validate_metrics(ledger.load(path))
+
+    def test_rejects_bad_repeats(self, registry):
+        with pytest.raises(ConfigurationError, match="repeats"):
+            run_benchmark(scale="quick", repeats=0, registry=registry)
+
+
+class TestCli:
+    def test_rejects_bad_repeats(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--repeats", "0"])
+        assert "--repeats" in capsys.readouterr().err

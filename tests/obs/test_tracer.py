@@ -47,6 +47,29 @@ class TestSpanNesting:
         assert tracer.current is None
         assert tracer.roots[0].wall_s >= 0.0
 
+    def test_double_exit_leaves_ancestors_open(self):
+        # Exiting a span that is no longer on the stack used to unwind
+        # the whole stack looking for it, orphaning every open ancestor.
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+            inner.__exit__(None, None, None)  # mismatched second exit
+            assert tracer.current is outer
+            with tracer.span("late") as late:
+                assert tracer.current is late
+        assert tracer.current is None
+        assert [s.name for s in tracer.roots] == ["outer"]
+        assert [s.name for s in outer.children] == ["inner", "late"]
+
+    def test_exit_of_never_entered_span_is_noop(self):
+        tracer = Tracer()
+        stray = tracer.span("stray")  # created but never entered
+        with tracer.span("outer") as outer:
+            stray.__exit__(None, None, None)
+            assert tracer.current is outer
+        assert [s.name for s in tracer.roots] == ["outer"]
+
 
 class TestSpanTiming:
     def test_wall_time_is_monotonic_elapsed(self):

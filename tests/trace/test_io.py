@@ -21,6 +21,22 @@ class TestCacheKey:
     def test_none_allowed(self):
         assert cache_key(a=None) != cache_key(a=0)
 
+    def test_rejects_nan(self):
+        # json.dumps would embed a bare NaN token in the key blob.
+        with pytest.raises(TraceError):
+            cache_key(a=float("nan"))
+
+    def test_rejects_infinities(self):
+        with pytest.raises(TraceError):
+            cache_key(a=float("inf"))
+        with pytest.raises(TraceError):
+            cache_key(a=float("-inf"))
+
+    def test_signed_zeros_are_distinct_keys(self):
+        # JSON preserves the sign of the float zero ("-0.0" vs "0.0"), so
+        # the keys differ; this is the documented, deliberate choice.
+        assert cache_key(a=-0.0) != cache_key(a=0.0)
+
 
 class TestSaveLoad:
     def test_roundtrip(self, tmp_path):
@@ -39,6 +55,27 @@ class TestSaveLoad:
         key = cache_key(test="corrupt")
         path = tmp_path / f"{key}.npz"
         path.write_bytes(b"not an npz file")
+        assert load_arrays(key, cache_dir=tmp_path) is None
+        assert not path.exists()
+
+    def test_truncated_zip_entry_is_miss_and_removed(self, tmp_path):
+        # A file with a valid zip magic but garbage after it makes np.load
+        # raise zipfile.BadZipFile — a plain Exception subclass, not an
+        # OSError/ValueError — which must still count as a cache miss.
+        key = cache_key(test="truncated")
+        path = tmp_path / f"{key}.npz"
+        path.write_bytes(b"PK\x03\x04" + b"\x00" * 64)
+        assert load_arrays(key, cache_dir=tmp_path) is None
+        assert not path.exists()
+
+    def test_truncated_real_entry_is_miss_and_removed(self, tmp_path):
+        # Truncating a genuine bundle mid-archive must also degrade to a
+        # miss: the cache can never be allowed to fail an experiment.
+        key = cache_key(test="truncated-real")
+        save_arrays(key, {"x": np.arange(1000)}, cache_dir=tmp_path)
+        path = tmp_path / f"{key}.npz"
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
         assert load_arrays(key, cache_dir=tmp_path) is None
         assert not path.exists()
 

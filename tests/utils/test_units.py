@@ -28,6 +28,13 @@ class TestKilowords:
     def test_fractional_kw(self):
         assert kw_to_words(0.5) == 512
 
+    def test_non_integral_word_count_rejected(self):
+        # 0.3 KW is 307.2 words; silent truncation to 307 words used to
+        # fabricate a non-power-of-two geometry that round-trips wrong
+        # through words_to_kw.
+        with pytest.raises(ConfigurationError):
+            kw_to_words(0.3)
+
     def test_zero_size_rejected(self):
         with pytest.raises(ConfigurationError):
             kw_to_words(0)
