@@ -164,6 +164,10 @@ class SuiteMeasurement:
         self.store = store if store is not None else ArtifactStore(use_disk=use_disk_cache)
         self.executor = executor if executor is not None else SweepExecutor()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Durable-run policy (:class:`repro.jobs.JobConfig`); when set,
+        #: optimizer sweeps over this session journal their shards into
+        #: the configured run directory and become resumable.
+        self.job_config = None
 
         total_weight = sum(spec.weight for spec in self.specs)
         self._budgets = [
@@ -179,6 +183,15 @@ class SuiteMeasurement:
         """Point this session (and its executor) at an observability tracer."""
         self.tracer = tracer
         self.executor.tracer = tracer
+
+    def attach_jobs(self, job_config) -> None:
+        """Make sweeps over this session durable (None detaches).
+
+        Accepts a :class:`repro.jobs.JobConfig` (duck-typed so this
+        module never imports the jobs layer); sweep results are
+        unchanged — the journal only adds checkpoints.
+        """
+        self.job_config = job_config
 
     def spec(self) -> MeasurementSpec:
         """A picklable description from which workers rebuild this session."""

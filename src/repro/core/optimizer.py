@@ -32,7 +32,7 @@ from repro.errors import ConfigurationError
 from repro.timing.technology import DEFAULT_TECHNOLOGY, Technology
 from repro.trace.io import cache_key
 
-__all__ = ["DesignPoint", "DesignOptimizer"]
+__all__ = ["DesignPoint", "DesignOptimizer", "point_order_key"]
 
 #: Per-side cache sizes the paper sweeps (KW).
 PAPER_SIDE_SIZES_KW = (1, 2, 4, 8, 16, 32)
@@ -60,6 +60,27 @@ class DesignPoint:
     @property
     def tpi_ns(self) -> float:
         return tpi_ns(self.cpi, self.cycle_time_ns)
+
+
+def point_order_key(point: DesignPoint) -> Tuple:
+    """Total order for reporting the optimum of a sweep.
+
+    Primary key is TPI; equal-TPI points are ordered by cycle time (a
+    faster clock wins), then combined L1 capacity (smaller wins), then
+    slot counts (fewer branch, then fewer load slots), then the I-side
+    split.  The order is a pure function of the point, so
+    :meth:`DesignOptimizer.best` reports the same optimum for resumed
+    runs and reordered grids alike.
+    """
+    config = point.config
+    return (
+        point.tpi_ns,
+        point.cycle_time_ns,
+        config.combined_l1_kw,
+        config.branch_slots,
+        config.load_slots,
+        config.icache_kw,
+    )
 
 
 class DesignOptimizer:
@@ -151,10 +172,25 @@ class DesignOptimizer:
         self.tracer.count("prefilled", len(missing))
         spec = self.measurement.spec()
         self.executor.prime(spec.digest(), self.measurement)
-        points = self.executor.map(
-            evaluate_design_point,
-            [(spec, self.tech, config) for config in missing],
-        )
+        try:
+            points = self.executor.map(
+                evaluate_design_point,
+                [(spec, self.tech, config) for config in missing],
+            )
+        except ConfigurationError as exc:
+            # The worker pool is persistently broken (repeated worker
+            # deaths).  The sweep itself is still computable: fall back
+            # to serial in-process evaluation of the missing points,
+            # under a warning span so the degradation is visible in
+            # profiles and the run ledger.
+            with self.tracer.span(
+                "optimizer.serial_fallback", reason=str(exc)
+            ) as span:
+                span.count("points", len(missing))
+                self._warm_miss_axes(missing)
+                for config in missing:
+                    self.evaluate(config)
+            return True
         for config, point in zip(missing, points):
             store.put(
                 "design_point",
@@ -177,9 +213,17 @@ class DesignOptimizer:
             "optimizer.sweep", backend=self.executor.backend
         ) as span:
             span.count("configs", len(configs))
-            prefilled = self.executor.is_parallel and self._prefill_parallel(configs)
-            if not prefilled:
-                self._warm_miss_axes(configs)
+            job_config = getattr(self.measurement, "job_config", None)
+            if job_config is not None and len(configs) > 1:
+                from repro.jobs.runner import JobRunner
+
+                JobRunner(self, job_config).run(configs)
+            else:
+                prefilled = (
+                    self.executor.is_parallel and self._prefill_parallel(configs)
+                )
+                if not prefilled:
+                    self._warm_miss_axes(configs)
             return [self.evaluate(config) for config in configs]
 
     def symmetric_grid(
@@ -221,11 +265,17 @@ class DesignOptimizer:
         ]
 
     def best(self, configs: Iterable[SystemConfig]) -> DesignPoint:
-        """The minimum-TPI point of a set."""
+        """The minimum-TPI point of a set.
+
+        Ties are broken deterministically by :func:`point_order_key`
+        (cycle time, then combined capacity, then slot counts), so the
+        reported optimum is independent of grid order and of whether the
+        run was resumed.
+        """
         points = self.sweep(configs)
         if not points:
             raise ConfigurationError("cannot optimize over an empty design space")
-        return min(points, key=lambda point: point.tpi_ns)
+        return min(points, key=point_order_key)
 
     def optimize_symmetric(self, base: SystemConfig) -> DesignPoint:
         """Optimum over the paper's symmetric (b = l focus) grid."""

@@ -143,10 +143,13 @@ class SweepExecutor:
         On the process backend ``fn`` and every item must be picklable;
         dispatch is chunked so per-task IPC overhead amortizes.  A worker
         crash (OOM kill, hard exit) breaks the whole
-        :class:`ProcessPoolExecutor`; the broken pool is shut down and
-        the map retried once on a fresh pool before a clean
-        :class:`~repro.errors.ConfigurationError` surfaces — the
-        executor itself stays usable either way.
+        :class:`ProcessPoolExecutor`, but chunks whose futures already
+        returned are *kept*: only the unfinished chunks are re-dispatched
+        on a fresh pool, so completed work never re-executes.  Two
+        consecutive pool breaks without a single chunk completing in
+        between surface a clean :class:`~repro.errors.
+        ConfigurationError` — the executor itself stays usable either
+        way.
         """
         items = list(items)
         with self.tracer.span(
@@ -156,20 +159,43 @@ class SweepExecutor:
             if self.is_serial or len(items) <= 1:
                 return [fn(item) for item in items]
             chunk = chunk_size or self.chunk_size or self._default_chunk(len(items))
-            for _attempt in range(2):
+            chunks = [items[i : i + chunk] for i in range(0, len(items), chunk)]
+            results: List[Optional[List[Any]]] = [None] * len(chunks)
+            pending = set(range(len(chunks)))
+            fruitless_breaks = 0
+            while pending:
                 pool = self._ensure_pool()
+                futures = {}
+                broke = False
                 try:
-                    return list(pool.map(fn, items, chunksize=chunk))
+                    for index in sorted(pending):
+                        futures[index] = pool.submit(_apply_chunk, fn, chunks[index])
                 except BrokenProcessPool:
-                    # The pool is unrecoverable once any worker dies;
-                    # every future it still holds is dead too.
-                    self._shutdown_pool()
-                    span.count("pool_restarts")
-        raise ConfigurationError(
-            f"sweep worker pool crashed twice while mapping {len(items)} items "
-            f"with jobs={self.jobs} — a worker was killed (out of memory?); "
-            f"retry with fewer jobs or --jobs 1"
-        )
+                    broke = True
+                progressed = 0
+                for index in sorted(futures):
+                    try:
+                        results[index] = futures[index].result()
+                    except BrokenProcessPool:
+                        # The pool is unrecoverable once any worker
+                        # dies; every future it still holds is dead too.
+                        broke = True
+                    else:
+                        pending.discard(index)
+                        progressed += 1
+                if not broke:
+                    break
+                self._shutdown_pool()
+                span.count("pool_restarts")
+                fruitless_breaks = 0 if progressed else fruitless_breaks + 1
+                if fruitless_breaks >= 2:
+                    raise ConfigurationError(
+                        f"sweep worker pool crashed twice while mapping "
+                        f"{len(items)} items with jobs={self.jobs} — a worker "
+                        f"was killed (out of memory?); retry with fewer jobs "
+                        f"or --jobs 1"
+                    )
+            return [value for chunk_result in results for value in chunk_result]
 
     def _default_chunk(self, count: int) -> int:
         return max(1, -(-count // (self.jobs * 4)))  # ceil
@@ -230,6 +256,11 @@ class SweepExecutor:
 # level and must import the heavier repro layers lazily: this module is
 # imported by repro.core.measurement, and importing core back at module
 # level would be circular.
+
+
+def _apply_chunk(fn: Callable[[Any], Any], chunk: List[Any]) -> List[Any]:
+    """Worker task: one dispatched chunk (module-level for pickling)."""
+    return [fn(item) for item in chunk]
 
 
 def session_for_spec(spec: Any) -> Any:

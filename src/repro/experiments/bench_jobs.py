@@ -1,0 +1,210 @@
+"""CLI: measure the journal's overhead on a durable design sweep.
+
+Usage::
+
+    python -m repro.experiments.bench_jobs                  # quick scale
+    python -m repro.experiments.bench_jobs --out BENCH.json
+    python -m repro.experiments.bench_jobs --repeats 3
+
+For each repeat this times the Figure 12 grid sweep two ways, each in a
+fresh session (so every design point is evaluated cold both times; the
+expensive traces still come from the shared disk cache):
+
+* **plain** — :meth:`~repro.core.optimizer.DesignOptimizer.sweep` with
+  no durability, and
+* **durable** — the same sweep with a :class:`~repro.jobs.JobConfig`
+  attached, journaling every shard (fsync'd appends) into a throwaway
+  run directory.
+
+The two sweeps' DesignPoints are asserted identical before any timing
+is reported, so the benchmark doubles as an end-to-end determinism
+check on the jobs layer.  Timings are best-of-``--repeats``;
+``overhead_frac`` in the ledger is the durable/plain ratio minus one
+(the jobs-layer acceptance budget is < 2 % on the quick grid).  The
+``BENCH_pr4.json`` committed at the repo root is one quick-scale run
+of this tool.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core import DesignOptimizer, SuiteMeasurement, SystemConfig
+from repro.engine.session import SessionRegistry
+from repro.errors import ConfigurationError
+from repro.experiments.common import (
+    DEFAULT_BLOCK_WORDS,
+    DEFAULT_PENALTY,
+    EXPERIMENT_SCALES,
+)
+from repro.jobs import JobConfig
+from repro.obs import RunLedger
+
+__all__ = ["main", "run_benchmark"]
+
+
+def _default_session(total_instructions: int) -> SuiteMeasurement:
+    """A fresh full-suite session with no disk tier.
+
+    The disk cache is deliberately off: a shared disk tier would hand
+    the second variant the first variant's (persistent) miss-axis
+    artifacts, and the "sweep" being timed would degenerate into warm
+    store lookups.
+    """
+    return SuiteMeasurement(
+        total_instructions=total_instructions, use_disk_cache=False
+    )
+
+
+def _timed_sweep(
+    total_instructions: int,
+    job_config: Optional[JobConfig],
+    session_factory,
+) -> Tuple[float, List]:
+    """One cold grid sweep in an isolated session; returns (wall_s, points).
+
+    Trace synthesis is forced before the clock starts, so the timed
+    region is exactly the evaluation work the journal rides on.
+    """
+    measurement = session_factory(total_instructions)
+    measurement.benchmarks  # traces are not what's being measured
+    if job_config is not None:
+        measurement.attach_jobs(job_config)
+    optimizer = DesignOptimizer(measurement)
+    grid = optimizer.symmetric_grid(
+        SystemConfig(penalty=DEFAULT_PENALTY, block_words=DEFAULT_BLOCK_WORDS)
+    )
+    started = time.perf_counter()
+    points = optimizer.sweep(grid)
+    return time.perf_counter() - started, points
+
+
+def run_benchmark(
+    scale: Optional[str] = None,
+    repeats: int = 3,
+    shard_size: int = 8,
+    run_root: Optional[Path] = None,
+    stream=sys.stdout,
+    session_factory=_default_session,
+) -> RunLedger:
+    """Time plain vs. durable sweeps; return the ledger.
+
+    Raises :class:`~repro.errors.ConfigurationError` if the durable
+    sweep's points ever differ from the plain sweep's — a divergence
+    makes the timing meaningless (and breaks the jobs layer's central
+    promise), so it is fatal rather than a warning.
+    """
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be at least 1, got {repeats}")
+    resolved_scale = SessionRegistry().resolve_scale(scale)
+    total_instructions = EXPERIMENT_SCALES[resolved_scale]
+    with tempfile.TemporaryDirectory(prefix="bench-jobs-") as scratch:
+        root = Path(run_root) if run_root is not None else Path(scratch)
+        ledger = RunLedger()
+        best_plain = float("inf")
+        best_durable = float("inf")
+        points = []
+        for repeat in range(repeats):
+            plain_s, reference = _timed_sweep(
+                total_instructions, None, session_factory
+            )
+            durable_s, points = _timed_sweep(
+                total_instructions,
+                JobConfig(
+                    run_dir=root / f"repeat-{repeat}", shard_size=shard_size
+                ),
+                session_factory,
+            )
+            if [(p.config, p.cpi, p.cycle_time_ns) for p in points] != [
+                (p.config, p.cpi, p.cycle_time_ns) for p in reference
+            ]:
+                raise ConfigurationError(
+                    "durable sweep diverged from the plain sweep "
+                    f"on repeat {repeat}"
+                )
+            best_plain = min(best_plain, plain_s)
+            best_durable = min(best_durable, durable_s)
+            ledger.record_experiment(f"plain:repeat{repeat}", plain_s)
+            ledger.record_experiment(f"durable:repeat{repeat}", durable_s)
+            print(
+                f"[repeat {repeat}] plain={plain_s:.3f}s "
+                f"durable={durable_s:.3f}s "
+                f"({(durable_s / plain_s - 1) * 100:+.2f}%)",
+                file=stream,
+            )
+    overhead = best_durable / best_plain - 1
+    ledger.set_run_info(
+        benchmark="jobs-journal",
+        scale=resolved_scale,
+        grid_points=len(points),
+        shard_size=shard_size,
+        repeats=repeats,
+        plain_wall_s=best_plain,
+        durable_wall_s=best_durable,
+        overhead_frac=overhead,
+    )
+    print(
+        f"best-of-{repeats}: plain={best_plain:.3f}s "
+        f"durable={best_durable:.3f}s journal overhead "
+        f"{overhead * 100:+.2f}%",
+        file=stream,
+    )
+    return ledger
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure the shard journal's overhead on a grid sweep."
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(EXPERIMENT_SCALES),
+        default=None,
+        help="trace scale (default: REPRO_SCALE env var or 'full')",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="timing repeats per variant; best-of-N is reported (default: 3)",
+    )
+    parser.add_argument(
+        "--shard-size",
+        type=int,
+        default=8,
+        metavar="N",
+        help="design points per journaled shard (default: 8)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the run ledger (JSON + ASCII twin) here",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error(f"--repeats must be at least 1, got {args.repeats}")
+    if args.shard_size < 1:
+        parser.error(f"--shard-size must be at least 1, got {args.shard_size}")
+    try:
+        ledger = run_benchmark(
+            scale=args.scale, repeats=args.repeats, shard_size=args.shard_size
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.out is not None:
+        ledger.write(args.out)
+        args.out.with_suffix(".txt").write_text(ledger.render_summary() + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

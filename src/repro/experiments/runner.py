@@ -10,6 +10,14 @@ Usage::
     repro-experiments --profile          # span tree + store hit rates
     repro-experiments --metrics m.json   # machine-readable run ledger
     repro-experiments --list             # show available experiment names
+    repro-experiments --run-dir RUNS/a fig12     # durable (journaled) sweeps
+    repro-experiments --run-dir RUNS/a --resume  # continue a killed run
+
+``--run-dir DIR`` makes every design-space sweep durable: the grid is
+split into journaled shards (``--shard-size``), failed shards retry
+with backoff (``--max-retries``), and a run killed mid-sweep resumes
+from its journal with ``--resume`` — producing byte-identical
+``results/*.txt``.
 
 ``--jobs N`` sizes the session's :class:`~repro.engine.executor.
 SweepExecutor`: per-benchmark trace synthesis and design-space sweeps
@@ -31,6 +39,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.engine.session import DEFAULT_REGISTRY, SessionRegistry
 from repro.errors import ConfigurationError
+from repro.jobs import FaultInjector, JobConfig
 from repro.obs import NULL_TRACER, RunLedger, Tracer
 from repro.experiments import (
     ext_associativity,
@@ -147,11 +156,17 @@ def run_experiments(
     registry: Optional[SessionRegistry] = None,
     profile: bool = False,
     metrics_path: Optional[Path] = None,
+    job_config: Optional[JobConfig] = None,
 ) -> List[ExperimentResult]:
     """Run experiments by name (all paper artifacts by default).
 
     Raises :class:`~repro.errors.ConfigurationError` for unknown names —
     this is library code, so it never calls :func:`sys.exit`.
+
+    Durability: with ``job_config`` set (the ``--run-dir`` family of CLI
+    flags), every design-space sweep journals its shards into the run
+    directory and a killed run can be resumed with ``resume=True``
+    (``--resume``); rendered results are byte-identical either way.
 
     Observability: with ``profile``, ``metrics_path``, or ``out_dir``
     set, the run is traced through :mod:`repro.obs` and a
@@ -177,6 +192,11 @@ def run_experiments(
     previous_tracer = getattr(measurement, "tracer", NULL_TRACER)
     if callable(getattr(measurement, "attach_tracer", None)):
         measurement.attach_tracer(tracer)
+    previous_jobs = getattr(measurement, "job_config", None)
+    if job_config is not None:
+        job_config.prepare()  # fail fast on a non-resumable run dir
+        if callable(getattr(measurement, "attach_jobs", None)):
+            measurement.attach_jobs(job_config)
     ledger = RunLedger(tracer)
     ledger.set_run_info(
         scale=resolved_scale,
@@ -215,9 +235,21 @@ def run_experiments(
     finally:
         if callable(getattr(measurement, "attach_tracer", None)):
             measurement.attach_tracer(previous_tracer)
+        if job_config is not None and callable(
+            getattr(measurement, "attach_jobs", None)
+        ):
+            measurement.attach_jobs(previous_jobs)
     store = getattr(measurement, "store", None)
     if store is not None:
         ledger.snapshot_store(store.stats())
+    if job_config is not None:
+        ledger.set_jobs_info(
+            run_dir=str(job_config.run_dir),
+            resume=job_config.resume,
+            max_retries=job_config.max_retries,
+            shard_size=job_config.shard_size,
+            **job_config.stats.as_dict(),
+        )
     resolved_metrics = metrics_path
     if resolved_metrics is None and out_dir is not None:
         resolved_metrics = out_dir / "metrics.json"
@@ -272,6 +304,44 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(default with --out: OUT/metrics.json)",
     )
     parser.add_argument(
+        "--run-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="journal design-space sweeps into DIR so a killed run can be "
+        "resumed (see --resume); results are byte-identical either way",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue a previous --run-dir run: completed shards are "
+        "replayed from the journal, only unfinished shards execute",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="extra attempts per failed sweep shard, with capped "
+        "exponential backoff (default: 2; requires --run-dir)",
+    )
+    parser.add_argument(
+        "--shard-size",
+        type=int,
+        default=8,
+        metavar="N",
+        help="design points per journaled shard — the checkpoint "
+        "granularity (default: 8; requires --run-dir)",
+    )
+    parser.add_argument(
+        "--inject-fault",
+        action="append",
+        default=None,
+        metavar="KIND:SHARD[:ATTEMPT]",
+        help="testing only: script a deterministic fault into the durable "
+        "run (task-error, worker-exit, abort); requires --run-dir",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="print the available experiment names and exit",
@@ -293,6 +363,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(
             f"unknown experiment(s): {', '.join(unknown)} (see --list)"
         )
+    if args.run_dir is None:
+        for flag, given in (
+            ("--resume", args.resume),
+            ("--inject-fault", args.inject_fault),
+        ):
+            if given:
+                parser.error(f"{flag} requires --run-dir")
+    if args.max_retries < 0:
+        parser.error(f"--max-retries must be at least 0, got {args.max_retries}")
+    if args.shard_size < 1:
+        parser.error(f"--shard-size must be at least 1, got {args.shard_size}")
+    job_config = None
+    if args.run_dir is not None:
+        try:
+            faults = (
+                FaultInjector.parse(args.inject_fault)
+                if args.inject_fault
+                else None
+            )
+        except ConfigurationError as exc:
+            parser.error(str(exc))
+        job_config = JobConfig(
+            run_dir=args.run_dir,
+            resume=args.resume,
+            max_retries=args.max_retries,
+            shard_size=args.shard_size,
+            faults=faults,
+        )
     names = args.experiments or None
     if args.extensions:
         names = (names or list(ALL_EXPERIMENTS)) + list(EXTENSION_EXPERIMENTS)
@@ -304,6 +402,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             jobs=args.jobs,
             profile=args.profile,
             metrics_path=args.metrics,
+            job_config=job_config,
         )
     except ConfigurationError as exc:
         # e.g. an invalid REPRO_SCALE env var, which --scale can't pre-check

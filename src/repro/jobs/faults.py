@@ -1,0 +1,142 @@
+"""Deterministic fault injection for durable runs.
+
+The injector exists to *prove* the jobs layer's crash-safety story:
+tests (and the CI kill-and-resume smoke job) run a real sweep with a
+scripted fault, then show that a resumed run completes and produces
+byte-identical results.  Faults are fully deterministic — each is an
+explicit ``kind:shard[:attempt]`` trigger, so the same spec always
+fails the same shard at the same point.
+
+Kinds:
+
+* ``task-error:S[:A]`` — raise a transient :class:`InjectedFault`
+  inside shard ``S`` on attempt ``A`` (default 0); exercises the
+  runner's retry/backoff path.  The fault is *transient*: it fires only
+  on the named attempt, so the retry succeeds.
+* ``worker-exit:S`` — on shard ``S``'s first attempt, the worker
+  process evaluating the shard's first design point hard-exits
+  (``os._exit``) once; exercises the executor's broken-pool chunk
+  retry underneath a durable run.  Only meaningful on a parallel
+  executor (a no-op when the shard runs serially).
+* ``abort:S`` — raise :class:`InjectedCrash` immediately after shard
+  ``S``'s journal commit, simulating the *parent* process dying
+  mid-run; the run directory is then resumable.
+
+:func:`truncate_journal_tail` additionally mutilates a journal's final
+bytes, simulating a crash mid-append, for the tail-recovery tests.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, ReproError
+
+__all__ = [
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedCrash",
+    "InjectedFault",
+    "truncate_journal_tail",
+]
+
+_KINDS = ("task-error", "worker-exit", "abort")
+
+
+class InjectedFault(ReproError):
+    """A scripted *transient* failure (the runner retries these)."""
+
+
+class InjectedCrash(ReproError):
+    """A scripted hard crash (the runner never retries these)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scripted fault: what, where, when."""
+
+    kind: str
+    shard: int
+    attempt: int = 0
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        parts = text.split(":")
+        if len(parts) not in (2, 3) or parts[0] not in _KINDS:
+            raise ConfigurationError(
+                f"bad fault spec {text!r}; expected kind:shard[:attempt] "
+                f"with kind in {_KINDS}"
+            )
+        try:
+            shard = int(parts[1])
+            attempt = int(parts[2]) if len(parts) == 3 else 0
+        except ValueError:
+            raise ConfigurationError(
+                f"bad fault spec {text!r}: shard and attempt must be integers"
+            ) from None
+        return cls(kind=parts[0], shard=shard, attempt=attempt)
+
+
+class FaultInjector:
+    """Fires scripted faults at the JobRunner's injection points."""
+
+    def __init__(self, specs: Sequence[FaultSpec]) -> None:
+        self.specs = list(specs)
+
+    @classmethod
+    def parse(cls, texts: Sequence[str]) -> "FaultInjector":
+        return cls([FaultSpec.parse(text) for text in texts])
+
+    def _match(self, kind: str, shard: int, attempt: Optional[int] = None):
+        for spec in self.specs:
+            if spec.kind != kind or spec.shard != shard:
+                continue
+            if attempt is None or spec.attempt == attempt:
+                return spec
+        return None
+
+    def before_shard(self, shard: int, attempt: int) -> None:
+        """Raise a transient fault if one is scripted for this attempt."""
+        if self._match("task-error", shard, attempt):
+            raise InjectedFault(
+                f"injected transient fault in shard {shard} attempt {attempt}"
+            )
+
+    def wants_worker_exit(self, shard: int, attempt: int) -> bool:
+        return attempt == 0 and self._match("worker-exit", shard) is not None
+
+    def after_commit(self, shard: int) -> None:
+        """Simulate the parent dying right after a shard commit."""
+        if self._match("abort", shard):
+            raise InjectedCrash(
+                f"injected crash after committing shard {shard} "
+                f"(resume the run directory to continue)"
+            )
+
+
+def worker_exit_evaluate(item: Tuple[Optional[str], Any]) -> Any:
+    """Worker task wrapper: hard-exit once (flag-file guarded), then behave.
+
+    Picklable and module-level so the process backend can ship it; the
+    flag file makes the exit one-shot, so the executor's fresh pool (or
+    its per-chunk retry) completes the work on the next dispatch.
+    """
+    flag, inner = item
+    if flag is not None and not os.path.exists(flag):
+        with open(flag, "w") as handle:
+            handle.write("worker exited here\n")
+        os._exit(17)
+    from repro.engine.executor import evaluate_design_point
+
+    return evaluate_design_point(inner)
+
+
+def truncate_journal_tail(path: Path, drop_bytes: int = 7) -> None:
+    """Chop bytes off a journal's end, simulating a crash mid-append."""
+    path = Path(path)
+    size = path.stat().st_size
+    with open(path, "rb+") as handle:
+        handle.truncate(max(0, size - drop_bytes))

@@ -43,6 +43,7 @@ class RunLedger:
         self.executor_info: Dict[str, Any] = {}
         self.experiments: List[Dict[str, Any]] = []
         self.store_stats: Dict[str, Any] = {}
+        self.jobs_info: Dict[str, Any] = {}
 
     # -- recording -------------------------------------------------------------
 
@@ -62,6 +63,15 @@ class RunLedger:
     def record_experiment(self, name: str, wall_s: float) -> None:
         self.experiments.append({"name": name, "wall_s": wall_s})
 
+    def set_jobs_info(self, **info: Any) -> None:
+        """Merge durable-run metadata (run dir, shard/retry/resume counts).
+
+        The ``jobs`` section is optional in the schema: it appears in
+        the payload only when a run executed with :mod:`repro.jobs`
+        attached, so ledgers from plain runs are unchanged.
+        """
+        self.jobs_info.update(info)
+
     def snapshot_store(self, stats: Any) -> None:
         """Record an :class:`~repro.engine.store.StoreStats` snapshot."""
         self.store_stats = dict(vars(stats))
@@ -73,7 +83,7 @@ class RunLedger:
         total = sum(entry["wall_s"] for entry in self.experiments)
         run = dict(self.run_info)
         run.setdefault("wall_s", total)
-        return {
+        payload = {
             "schema": LEDGER_SCHEMA,
             "run": run,
             "executor": dict(self.executor_info),
@@ -81,6 +91,9 @@ class RunLedger:
             "store": dict(self.store_stats),
             "spans": self.tracer.to_list() if self.tracer is not None else [],
         }
+        if self.jobs_info:
+            payload["jobs"] = dict(self.jobs_info)
+        return payload
 
     def write(self, path: Path) -> Path:
         """Write ``metrics.json``; non-finite floats are never emitted."""
@@ -129,6 +142,17 @@ class RunLedger:
                         for key, value in sorted(self.store_stats.items())
                     ],
                     title="artifact store",
+                )
+            )
+        if self.jobs_info:
+            sections.append(
+                render_table(
+                    ["counter", "value"],
+                    [
+                        [key, _cell(value)]
+                        for key, value in sorted(self.jobs_info.items())
+                    ],
+                    title="durable run",
                 )
             )
         if self.tracer is not None and self.tracer.roots:

@@ -6,15 +6,20 @@ import pytest
 
 from repro.core import (
     DesignOptimizer,
+    SuiteMeasurement,
     SystemConfig,
     relative_tpi_change,
     system_cycle_time_ns,
     tpi_ns,
 )
 from repro.core.config import LoadScheme
+from repro.core.optimizer import DesignPoint, point_order_key
 from repro.core.tcpu import side_cycle_times_ns
 from repro.core.tpi import required_tcpu_reduction
+from repro.engine.executor import SweepExecutor
 from repro.errors import ConfigurationError
+from repro.obs import Tracer
+from repro.workload import benchmark_by_name
 
 
 class TestTpi:
@@ -117,3 +122,101 @@ class TestOptimizer:
         best6 = optimizer.optimize_symmetric(SystemConfig(penalty=6))
         best18 = optimizer.optimize_symmetric(SystemConfig(penalty=18))
         assert best18.config.combined_l1_kw >= best6.config.combined_l1_kw
+
+    def test_best_independent_of_grid_order(self, optimizer):
+        grid = optimizer.symmetric_grid(SystemConfig(penalty=10))
+        assert optimizer.best(grid) == optimizer.best(list(reversed(grid)))
+
+
+class TestPointOrderKey:
+    def _point(self, cpi, cycle, **config):
+        return DesignPoint(
+            config=SystemConfig(**config), cpi=cpi, cycle_time_ns=cycle
+        )
+
+    def test_lower_tpi_wins(self):
+        slow = self._point(2.0, 4.0, penalty=10)
+        fast = self._point(1.9, 4.0, penalty=10)
+        assert point_order_key(fast) < point_order_key(slow)
+
+    def test_equal_tpi_prefers_faster_clock(self):
+        # 2.0 x 4.0 == 4.0 x 2.0: the faster clock is the better design.
+        wide = self._point(2.0, 4.0, penalty=10)
+        deep = self._point(4.0, 2.0, penalty=10)
+        assert point_order_key(deep) < point_order_key(wide)
+
+    def test_equal_tpi_and_clock_prefers_smaller_cache(self):
+        small = self._point(2.0, 4.0, icache_kw=8, dcache_kw=8)
+        big = self._point(2.0, 4.0, icache_kw=16, dcache_kw=16)
+        assert point_order_key(small) < point_order_key(big)
+
+    def test_then_fewer_slots(self):
+        shallow = self._point(2.0, 4.0, branch_slots=1, load_slots=1)
+        deep = self._point(2.0, 4.0, branch_slots=2, load_slots=1)
+        assert point_order_key(shallow) < point_order_key(deep)
+
+
+class _BrokenPoolExecutor(SweepExecutor):
+    """Parallel-looking executor whose pool dies on design-point sweeps.
+
+    Trace synthesis (also fanned out through the session's executor)
+    runs in-process so the session still builds; only the optimizer's
+    sweep dispatch hits the scripted persistent crash.
+    """
+
+    def __init__(self):
+        super().__init__(jobs=2)
+        self.maps = 0
+
+    def prime(self, digest, session):
+        pass
+
+    def map(self, fn, items):
+        from repro.engine.executor import evaluate_design_point
+
+        if fn is evaluate_design_point:
+            self.maps += 1
+            raise ConfigurationError(
+                "sweep worker pool crashed twice (scripted)"
+            )
+        return [fn(item) for item in items]
+
+
+class TestSerialFallback:
+    def _tiny(self, **kwargs):
+        specs = [benchmark_by_name(name) for name in ("small", "yacc")]
+        return SuiteMeasurement(
+            specs=specs,
+            total_instructions=60_000,
+            min_benchmark_instructions=30_000,
+            use_disk_cache=False,
+            **kwargs,
+        )
+
+    def _find_span(self, spans, name):
+        for span in spans:
+            if span.name == name:
+                return span
+            found = self._find_span(span.children, name)
+            if found is not None:
+                return found
+        return None
+
+    def test_pool_crash_falls_back_to_serial(self):
+        # Regression: a twice-crashed pool used to abort the whole sweep;
+        # now the optimizer finishes serially and flags the degradation.
+        grid_of = lambda opt: opt.symmetric_grid(SystemConfig(penalty=10))
+        serial_opt = DesignOptimizer(self._tiny())
+        expected = serial_opt.sweep(grid_of(serial_opt))
+        tracer = Tracer()
+        broken = _BrokenPoolExecutor()
+        fallback_opt = DesignOptimizer(self._tiny(executor=broken, tracer=tracer))
+        points = fallback_opt.sweep(grid_of(fallback_opt))
+        assert broken.maps == 1  # the pool was tried, then given up on
+        assert [(p.config, p.cpi, p.cycle_time_ns) for p in points] == [
+            (p.config, p.cpi, p.cycle_time_ns) for p in expected
+        ]
+        span = self._find_span(tracer.roots, "optimizer.serial_fallback")
+        assert span is not None
+        assert span.counters["points"] == len(grid_of(fallback_opt))
+        assert "crashed" in span.attrs["reason"]

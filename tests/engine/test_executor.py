@@ -38,6 +38,18 @@ def _crash_until_flag(item):
     return value * value
 
 
+def _log_then_crash_at_five(item):
+    """Logs each execution; dies (once) on item 5 before logging it."""
+    log, flag, value = item
+    if value == 5 and not os.path.exists(flag):
+        with open(flag, "w") as handle:
+            handle.write("crashed once")
+        os._exit(1)
+    with open(log, "a") as handle:
+        handle.write(f"{value}\n")
+    return value * value
+
+
 @pytest.fixture
 def clean_fork_state():
     """Isolate and restore the module-global fork-inheritance table."""
@@ -173,6 +185,25 @@ class TestBrokenPoolRecovery:
             ]
         finally:
             executor.shutdown()
+
+    def test_completed_chunks_survive_worker_death(self, tmp_path):
+        # Regression: map() used to re-dispatch the *whole* item list
+        # after a BrokenProcessPool, re-running work whose futures had
+        # already returned.  One worker and one-item chunks make the
+        # execution order deterministic: items 0-4 complete, item 5
+        # kills the worker once, 5-7 finish on the fresh pool.
+        log = str(tmp_path / "executions.log")
+        flag = str(tmp_path / "crashed-once")
+        executor = SweepExecutor(jobs=1, backend="process", chunk_size=1)
+        try:
+            result = executor.map(
+                _log_then_crash_at_five, [(log, flag, n) for n in range(8)]
+            )
+        finally:
+            executor.shutdown()
+        assert result == [n * n for n in range(8)]
+        executed = sorted(int(line) for line in open(log).read().split())
+        assert executed == list(range(8))  # each item ran exactly once
 
     def test_single_crash_recovers_on_retry(self, tmp_path):
         flag = str(tmp_path / "crashed-once")

@@ -1,0 +1,60 @@
+"""Journal-overhead benchmark tests: ledger shape, determinism guard."""
+
+import io
+
+import pytest
+
+from repro.core import SuiteMeasurement
+from repro.errors import ConfigurationError
+from repro.experiments.bench_jobs import main, run_benchmark
+from repro.obs.ledger import validate_metrics
+from repro.workload import benchmark_by_name
+
+
+def _tiny_session(total_instructions):
+    # The bench passes the scale's instruction budget; the test ignores
+    # it and substitutes a two-benchmark session to stay fast.
+    specs = [benchmark_by_name(name) for name in ("small", "yacc")]
+    return SuiteMeasurement(
+        specs=specs,
+        total_instructions=60_000,
+        min_benchmark_instructions=30_000,
+        use_disk_cache=False,
+    )
+
+
+class TestRunBenchmark:
+    def test_ledger_records_overhead(self, tmp_path):
+        ledger = run_benchmark(
+            scale="quick",
+            repeats=1,
+            shard_size=5,
+            stream=io.StringIO(),
+            session_factory=_tiny_session,
+        )
+        names = [entry["name"] for entry in ledger.experiments]
+        assert names == ["plain:repeat0", "durable:repeat0"]
+        info = ledger.run_info
+        assert info["benchmark"] == "jobs-journal"
+        assert info["grid_points"] == 24
+        assert info["shard_size"] == 5
+        assert info["plain_wall_s"] > 0 and info["durable_wall_s"] > 0
+        assert info["overhead_frac"] == pytest.approx(
+            info["durable_wall_s"] / info["plain_wall_s"] - 1
+        )
+        path = ledger.write(tmp_path / "bench.json")
+        validate_metrics(ledger.load(path))
+
+    def test_rejects_bad_repeats(self):
+        with pytest.raises(ConfigurationError, match="repeats"):
+            run_benchmark(scale="quick", repeats=0)
+
+
+class TestCli:
+    def test_rejects_bad_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--repeats", "0"])
+        assert "--repeats" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main(["--shard-size", "0"])
+        assert "--shard-size" in capsys.readouterr().err

@@ -125,6 +125,49 @@ class TestObservabilityFlags:
         assert measurement.tracer is NULL_TRACER
 
 
+class TestDurableFlags:
+    def test_jobs_section_lands_in_ledger(self, registry, measurement, tmp_path):
+        from repro.jobs import JobConfig
+
+        metrics = tmp_path / "m.json"
+        job_config = JobConfig(run_dir=tmp_path / "run", shard_size=6)
+        run_experiments(
+            ["fig12"], scale="quick", stream=io.StringIO(),
+            registry=registry, metrics_path=metrics, job_config=job_config,
+        )
+        payload = RunLedger.load(metrics)
+        jobs = payload["jobs"]
+        assert jobs["run_dir"] == str(tmp_path / "run")
+        assert jobs["shard_size"] == 6
+        assert jobs["sweeps"] >= 1
+        assert jobs["shards_executed"] + jobs["shards_replayed"] >= 1
+        # The durable config must not leak into later plain runs.
+        assert measurement.job_config is None
+
+    def test_plain_run_ledger_has_no_jobs_section(self, registry, tmp_path):
+        metrics = tmp_path / "m.json"
+        run_experiments(
+            ["table2"], scale="quick", stream=io.StringIO(),
+            registry=registry, metrics_path=metrics,
+        )
+        assert "jobs" not in RunLedger.load(metrics)
+
+    def test_second_run_without_resume_fails_fast(self, registry, tmp_path):
+        from repro.errors import ConfigurationError
+        from repro.jobs import JobConfig
+
+        run_dir = tmp_path / "run"
+        run_experiments(
+            ["table2"], scale="quick", stream=io.StringIO(),
+            registry=registry, job_config=JobConfig(run_dir=run_dir),
+        )
+        with pytest.raises(ConfigurationError, match="--resume"):
+            run_experiments(
+                ["table2"], scale="quick", stream=io.StringIO(),
+                registry=registry, job_config=JobConfig(run_dir=run_dir),
+            )
+
+
 class TestCli:
     def test_list_exits_cleanly(self, capsys):
         assert main(["--list"]) == 0
@@ -139,3 +182,23 @@ class TestCli:
     def test_bad_jobs_rejected(self):
         with pytest.raises(SystemExit):
             main(["--jobs", "0", "table2"])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["--resume", "table2"],
+            ["--inject-fault", "abort:0", "table2"],
+        ],
+    )
+    def test_durable_flags_require_run_dir(self, argv):
+        with pytest.raises(SystemExit):
+            main(argv)
+
+    def test_bad_durable_values_rejected(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        with pytest.raises(SystemExit):
+            main(["--run-dir", run_dir, "--max-retries", "-1", "table2"])
+        with pytest.raises(SystemExit):
+            main(["--run-dir", run_dir, "--shard-size", "0", "table2"])
+        with pytest.raises(SystemExit):
+            main(["--run-dir", run_dir, "--inject-fault", "explode:0", "table2"])
