@@ -8,7 +8,11 @@ Two complementary simulators:
 * :mod:`~repro.cache.fastsim` — an exact, vectorized miss counter for
   direct-mapped caches (the organization the paper's L1 uses throughout),
   fast enough to sweep full multiprogrammed traces over every cache size
-  in pure Python.
+  in pure Python;
+* :mod:`~repro.cache.stackdist` — a vectorized single-pass
+  all-associativity LRU simulator (Mattson stack distances): one pass
+  yields exact miss counts for every (set count, ways) point of a
+  :class:`~repro.cache.stackdist.MissPlane` at once.
 
 :mod:`~repro.cache.refill` models the paper's miss penalties (a 2-cycle
 startup plus the block transfer at the memory system's refill rate), and
@@ -28,6 +32,12 @@ from repro.cache.fastsim import (
     addresses_to_blocks,
 )
 from repro.cache.assoc_sim import associative_miss_sweep, set_associative_misses
+from repro.cache.stackdist import (
+    MissPlane,
+    all_associativity_misses,
+    capacity_associativity_misses,
+    stack_distance_hits,
+)
 from repro.cache.hierarchy import CacheHierarchy
 
 __all__ = [
@@ -46,5 +56,9 @@ __all__ = [
     "addresses_to_blocks",
     "set_associative_misses",
     "associative_miss_sweep",
+    "MissPlane",
+    "stack_distance_hits",
+    "all_associativity_misses",
+    "capacity_associativity_misses",
     "CacheHierarchy",
 ]

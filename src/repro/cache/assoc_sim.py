@@ -6,13 +6,16 @@ pipelined, ``t_CPU`` no longer tracks the access time, so *associativity*
 more.  Testing that needs a set-associative simulator over the same block
 streams the direct-mapped fast path consumes.
 
-Unlike the direct-mapped case there is no simple vectorized closed form,
-so this is an optimized dict-based LRU: one insertion-ordered dict per set
-(Python dicts preserve insertion order; ``pop`` + re-insert is an O(1)
-move-to-back).  Throughput is roughly a million references per second —
-fine for the extension studies, which run at reduced stream lengths.
-Exactness against the reference :class:`~repro.cache.cache.Cache` is
-enforced by property-based tests.
+:func:`set_associative_misses` is an optimized dict-based LRU: one
+insertion-ordered dict per set (Python dicts preserve insertion order;
+``pop`` + re-insert is an O(1) move-to-back).  Throughput is roughly a
+million references per second — it survives as the *oracle* the
+property-based tests pit against the production path.  That production
+path is :mod:`repro.cache.stackdist`: one vectorized stack-distance pass
+answers the whole (set count x ways) plane at once, and
+:func:`associative_miss_sweep` is now a thin view over it.  Exactness of
+both against the reference :class:`~repro.cache.cache.Cache` is enforced
+by property-based tests.
 """
 
 from __future__ import annotations
@@ -26,6 +29,33 @@ from repro.utils.units import is_power_of_two
 
 __all__ = ["set_associative_misses", "associative_miss_sweep"]
 
+#: References materialized per ``tolist`` batch.  Chunking keeps the
+#: Python-object working set bounded (a full ``tolist`` of a
+#: multimillion-reference stream allocates one ``int`` object per
+#: element up front) without changing the per-reference loop.
+_CHUNK_REFERENCES = 1 << 16
+
+
+def _fully_associative_misses(blocks: np.ndarray, associativity: int) -> int:
+    """LRU misses of a single ``associativity``-entry set."""
+    if associativity >= len(blocks):
+        # The cache can never fill, let alone evict: every miss is a
+        # cold miss, so the miss count is the distinct-block count.
+        return len(np.unique(blocks))
+    lru: Dict[int, bool] = {}
+    misses = 0
+    for start in range(0, len(blocks), _CHUNK_REFERENCES):
+        for block in blocks[start : start + _CHUNK_REFERENCES].tolist():
+            if block in lru:
+                del lru[block]
+                lru[block] = True
+            else:
+                misses += 1
+                if len(lru) >= associativity:
+                    del lru[next(iter(lru))]
+                lru[block] = True
+    return misses
+
 
 def set_associative_misses(
     block_sequence: np.ndarray, num_sets: int, associativity: int
@@ -37,7 +67,9 @@ def set_associative_misses(
         num_sets: Sets (power of two).
         associativity: Ways per set (>= 1).
 
-    ``associativity == 1`` delegates to the vectorized direct-mapped path.
+    ``associativity == 1`` delegates to the vectorized direct-mapped
+    path; ``num_sets == 1`` to a single-dict fully-associative loop
+    with no set indexing.
     """
     if not is_power_of_two(num_sets):
         raise ConfigurationError(f"set count must be a power of two: {num_sets}")
@@ -49,25 +81,33 @@ def set_associative_misses(
         return direct_mapped_misses(block_sequence, num_sets)
 
     blocks = np.asarray(block_sequence, dtype=np.int64)
+    if num_sets == 1:
+        return _fully_associative_misses(blocks, associativity)
+    if associativity >= len(blocks):
+        # No set can ever evict (a set holds at most the stream's
+        # distinct blocks, each block maps to exactly one set), so the
+        # cache is effectively fully associative and never full.
+        return len(np.unique(blocks))
     mask = num_sets - 1
     sets: list = [None] * num_sets  # lazily created per-set LRU dicts
     misses = 0
-    for block in blocks.tolist():
-        index = block & mask
-        lru = sets[index]
-        if lru is None:
-            lru = {}
-            sets[index] = lru
-        if block in lru:
-            # Move to most-recently-used position.
-            del lru[block]
-            lru[block] = True
-        else:
-            misses += 1
-            if len(lru) >= associativity:
-                # Evict the least-recently-used (first-inserted) block.
-                del lru[next(iter(lru))]
-            lru[block] = True
+    for start in range(0, len(blocks), _CHUNK_REFERENCES):
+        for block in blocks[start : start + _CHUNK_REFERENCES].tolist():
+            index = block & mask
+            lru = sets[index]
+            if lru is None:
+                lru = {}
+                sets[index] = lru
+            if block in lru:
+                # Move to most-recently-used position.
+                del lru[block]
+                lru[block] = True
+            else:
+                misses += 1
+                if len(lru) >= associativity:
+                    # Evict the least-recently-used (first-inserted) block.
+                    del lru[next(iter(lru))]
+                lru[block] = True
     return misses
 
 
@@ -81,23 +121,19 @@ def associative_miss_sweep(
     ``size_blocks`` is the total cache capacity in blocks; each
     associativity ``a`` is simulated with ``size_blocks / a`` sets, so the
     sweep isolates the conflict-miss effect the paper's Section 6 cares
-    about.
+    about.  A thin view over :func:`~repro.cache.stackdist.
+    capacity_associativity_misses`: one stack-distance pass covers every
+    requested associativity (bit-identical to one
+    :func:`set_associative_misses` call per point).
     """
+    from repro.cache.stackdist import capacity_associativity_misses
+
     if not is_power_of_two(size_blocks):
         raise ConfigurationError(f"capacity must be a power of two: {size_blocks}")
-    results = {}
-    for associativity in associativities:
-        if size_blocks % associativity != 0:
-            raise ConfigurationError(
-                f"associativity {associativity} does not divide {size_blocks} blocks"
-            )
-        num_sets = size_blocks // associativity
-        if not is_power_of_two(num_sets):
-            raise ConfigurationError(
-                f"{size_blocks} blocks / {associativity} ways is not a "
-                "power-of-two set count"
-            )
-        results[associativity] = set_associative_misses(
-            block_sequence, num_sets, associativity
-        )
-    return results
+    plane = capacity_associativity_misses(
+        block_sequence, [size_blocks], associativities
+    )
+    return {
+        associativity: plane[(size_blocks, int(associativity))]
+        for associativity in associativities
+    }

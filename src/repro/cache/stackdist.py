@@ -1,0 +1,595 @@
+"""Single-pass all-associativity LRU simulation via stack distances.
+
+The classic Mattson inclusion result: under LRU, a reference hits an
+``S``-set, ``A``-way cache iff its *stack distance* within its set — one
+plus the number of distinct blocks referenced in that set since the
+previous reference to the same block — is at most ``A``.  Distances are a
+property of the (stream, set count) pair alone, so histogramming them
+answers **every** associativity at once: ``misses(S, A)`` for the whole
+``(size x ways)`` plane falls out of one pass per swept set count.
+
+The pass itself is vectorized.  Identities that make it possible:
+
+* *Last-position compression.*  Within one set's reference substream (in
+  time order, positions ``0..m-1``), let ``p_i`` be the position of the
+  previous reference to the same block (``-1`` if none).  A position
+  ``j`` in the window ``(p_i, i)`` contributes a *distinct* block iff it
+  is the window's first reference to that block, i.e. iff ``p_j <= p_i``
+  — so the stack distance needs no per-block bookkeeping, only the
+  ``p`` array.
+* *Rank counting.*  Every ``j <= p_i`` satisfies ``p_j < j <= p_i``, so
+  ``#{j < i : p_j <= p_i} = (p_i + 1) + #window-firsts`` and the distance
+  collapses to ``d_i = #{j < i : p_j <= p_i} - p_i``: an order statistic
+  ("how many earlier entries have a previous-position at most mine")
+  computed for all references of all sets together by
+  :func:`_rank_counts`.  Cross-set pairs cancel exactly in ``C - p``
+  because a window never crosses a set boundary (sets are contiguous
+  segments) while every ``j <= p_i`` counts regardless of its set.
+* *Run compression.*  A reference whose in-set predecessor is the same
+  block has stack distance exactly 1 and leaves the LRU stack unchanged
+  (it touches the top).  Dropping such runs before the expensive rank
+  count preserves every other distance and typically shrinks real
+  streams by 2-5x per level; the dropped count is added back as hits at
+  every ``ways >= 1``.
+* *First references never enter the rank count.*  A block's first
+  reference within its set is its first reference ever (the set index is
+  a function of the block), and its ``p = -1`` makes its value the level
+  minimum — every later element of the level counts it unconditionally.
+  So firsts leave the expensive rank count entirely: their contribution
+  is a per-level running count of firsts (a cumsum), and with them gone
+  the remaining values are globally unique (no tie-breaking needed).
+* *Level concatenation.*  All swept set counts share one rank count: lay
+  the per-level ``p`` arrays end to end with cumulative position offsets.
+  For an element of level ``k`` every element of an earlier level counts
+  (smaller position *and* smaller previous-position), adding the same
+  constant ``base_k`` to both ``C`` and ``p`` — so the offsets cancel in
+  ``d = C - p`` and one merge tree serves the whole plane.
+
+Set counts are swept with the PR 3 nesting: the set index of a
+``2^(k+1)``-set cache refines the ``2^k``-set index by one bit, so the
+grouped substreams are produced by an LSD radix pass — one O(n) stable
+partition per level — with no sort at all.  (A global bit partition keeps
+every set contiguous and in time order; it permutes the *order of sets*
+relative to :func:`~repro.cache.fastsim._stable_split`, which no miss
+count depends on.)  Exactness against
+:func:`~repro.cache.assoc_sim.set_associative_misses` and the
+step-by-step :class:`~repro.cache.cache.Cache` is enforced by
+property-based tests; the ``A = 1`` column is additionally pinned to
+:func:`~repro.cache.fastsim.direct_mapped_miss_sweep`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.cache.fastsim import _checked_levels
+from repro.errors import ConfigurationError
+from repro.utils.units import is_power_of_two
+
+__all__ = [
+    "MissPlane",
+    "stack_distance_hits",
+    "all_associativity_misses",
+    "capacity_associativity_misses",
+]
+
+# Packed-merge base width: nodes up to this width are seeded by shifted
+# whole-array comparisons (contiguous, no sort) before merging starts.
+_SHIFT_BASE_WIDTH = 16
+
+# Fallback-tree node width below which the scatter merge switches to one
+# broadcast all-pairs comparison.
+_BASE_WIDTH = 32
+
+
+def _dense_ids_and_prev(blocks: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Dense block ids and previous-occurrence times, from one argsort.
+
+    Returns ``(dense, pocc, num_distinct)`` where ``dense[i]`` is a
+    compact id for ``blocks[i]`` and ``pocc[i]`` is the time index of the
+    previous reference to the same block (-1 if none).  A block's
+    previous occurrence is in the same set at *every* power-of-two set
+    count (the set index is a function of the block index), so this is
+    computed once per stream and shared by all swept levels.
+    """
+    n = len(blocks)
+    dense = np.empty(n, dtype=np.int64)
+    pocc = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return dense, pocc, 0
+    ibits = max(int(n - 1).bit_length(), 1)
+    if int(blocks.min()) >= 0 and int(blocks.max()) < (1 << (62 - ibits)):
+        # Pack (block, time) into one word: one value sort replaces the
+        # argsort plus its scattered gathers.
+        order = np.sort((blocks << ibits) | np.arange(n, dtype=np.int64))
+        sorted_blocks = order >> ibits
+        np.bitwise_and(order, (1 << ibits) - 1, out=order)
+    else:
+        order = np.argsort(blocks, kind="stable")
+        sorted_blocks = blocks[order]
+    ids_sorted = np.empty(n, dtype=np.int64)
+    ids_sorted[0] = 0
+    same = sorted_blocks[1:] == sorted_blocks[:-1]
+    np.cumsum(~same, out=ids_sorted[1:])
+    dense[order] = ids_sorted
+    repeat = np.flatnonzero(same) + 1
+    pocc[order[repeat]] = order[repeat - 1]
+    return dense, pocc, int(ids_sorted[-1]) + 1
+
+
+def _rank_counts(rank: np.ndarray) -> np.ndarray:
+    """``C[i] = #{j < i : rank[j] < rank[i]}`` for a permutation ``rank``.
+
+    A bottom-up merge tree over positions with the whole element state —
+    ``(rank << 2f) | (position << f) | count`` — packed into one int64
+    per element (``f`` bits per field).  Each level re-sorts rows of
+    doubled width in place: ranks occupy the top bits, so ``np.sort``
+    orders each positional node by rank while the position and running
+    count ride along for free — the tree needs *no* scattered memory
+    traffic at all.  When a node forms, every element from its right
+    (positional) half counts the left-half elements preceding it in rank
+    order — exactly the ``j < i`` (position) with ``rank[j] < rank[i]``
+    pairs whose lowest common tree node this is — via one row cumsum of
+    the half-membership bit.  Counts accumulate in the low field, which
+    never overflows into the position field (``count <= n - 1``) and
+    never reorders two elements (ranks are unique and above it).
+
+    Nodes of width <= ``_SHIFT_BASE_WIDTH`` are seeded before any sort
+    by shifted whole-array comparisons in position order: offset ``o``
+    contributes ``rank[i - o] < rank[i]`` for every in-node pair at that
+    offset — contiguous compares, no scattered traffic at all.
+
+    Sentinels pad positions n..P-1 with ranks above every real rank, so
+    a sentinel never precedes a real element in rank order and never
+    contributes to a real count.  Three packed fields need
+    ``3 * ceil(log2 n) <= 63``; beyond that (n > 2^21) the scatter-based
+    tree :func:`_rank_counts_scatter` takes over.
+    """
+    n = len(rank)
+    if n < 2:
+        return np.zeros(n, dtype=np.int64)
+    nbits = int(n - 1).bit_length()
+    if 3 * nbits > 63:
+        return _rank_counts_scatter(rank)
+    padded = 1 << nbits
+    field = padded - 1
+    ranks = np.empty(padded, dtype=np.int32)
+    ranks[:n] = rank
+    if padded > n:
+        # Sentinels: rank = position = padded index, count ignored.
+        ranks[n:] = np.arange(n, padded, dtype=np.int32)
+    base_width = min(_SHIFT_BASE_WIDTH, padded)
+    base_rows = ranks.reshape(-1, base_width)
+    counts = np.zeros((padded // base_width, base_width), dtype=np.int32)
+    for offset in range(1, base_width):
+        counts[:, offset:] += base_rows[:, :-offset] < base_rows[:, offset:]
+    packed = ranks.astype(np.int64)
+    packed <<= 2 * nbits
+    pos64 = np.arange(padded, dtype=np.int64)
+    np.left_shift(pos64, nbits, out=pos64)
+    packed |= pos64
+    np.bitwise_or(packed, counts.ravel(), out=packed)
+    colsp1 = np.arange(1, padded + 1, dtype=np.int32)
+    half = np.empty(padded, dtype=np.int32)
+    before = np.empty(padded, dtype=np.int32)
+    level = base_width.bit_length()
+    while (1 << level) <= padded:
+        width = 1 << level
+        rows = packed.reshape(-1, width)
+        rows.sort(axis=1)
+        half2 = half.reshape(-1, width)
+        before2 = before.reshape(-1, width)
+        # Bit ``level - 1`` of the position field: 1 for the right half.
+        np.right_shift(rows, nbits + level - 1, out=half2, casting="unsafe")
+        half2 &= 1
+        np.cumsum(half2, axis=1, out=before2)  # inclusive right-half count
+        # Left-half elements before slot k in rank order, for right-half
+        # elements: k - (inclusive - 1) = (k + 1) - inclusive.
+        np.subtract(colsp1[:width], before2, out=before2)
+        before2 *= half2
+        rows += before2
+        level += 1
+    out = np.empty(padded, dtype=np.int64)
+    out[(packed >> nbits) & field] = packed & field
+    return out[:n]
+
+
+def _rank_counts_scatter(rank: np.ndarray) -> np.ndarray:
+    """Scatter-tree fallback for streams too long to pack three fields.
+
+    A top-down merge tree over positions: the root's by-rank order is the
+    permutation's inverse (an O(n) scatter, no sort), and each node's
+    order splits into its children's by one stable partition on a single
+    position bit, counting left-half elements that precede each
+    right-half element in rank order.  Nodes of width <= ``_BASE_WIDTH``
+    finish with one broadcast all-pairs count instead of more levels.
+    Scratch buffers are allocated once and reused across levels.
+    """
+    n = len(rank)
+    nbits = int(n - 1).bit_length()
+    padded = 1 << nbits
+    dtype = np.int32 if padded <= (1 << 30) else np.int64
+    by_rank = np.empty(padded, dtype=dtype)
+    by_rank[rank] = np.arange(n, dtype=dtype)
+    if padded > n:
+        by_rank[n:] = np.arange(n, padded, dtype=dtype)
+    counts = np.zeros(padded, dtype=dtype)
+    cols = np.arange(padded, dtype=dtype)
+    bit = np.empty(padded, dtype=bool)
+    ones = np.empty(padded, dtype=dtype)
+    scratch = np.empty(padded, dtype=dtype)
+    other = np.empty(padded, dtype=dtype)
+    level = nbits
+    while (1 << level) > _BASE_WIDTH:
+        width = 1 << level
+        shape = (padded >> level, width)
+        rows = by_rank.reshape(shape)
+        bit2 = bit.reshape(shape)
+        ones2 = ones.reshape(shape)
+        pos2 = scratch.reshape(shape)
+        np.bitwise_and(np.right_shift(rows, level - 1, out=ones2), 1, out=ones2)
+        np.not_equal(ones2, 0, out=bit2)
+        np.cumsum(bit2, axis=1, out=ones2)
+        ones2 -= bit2  # ones strictly before, per row
+        np.subtract(cols[:width], ones2, out=pos2)  # zeros strictly before
+        # Right-half elements: left-half elements before them in rank
+        # order are exactly their smaller-rank, smaller-position pairs.
+        # Positions are unique, so fancy-index accumulation is safe.
+        counts[by_rank] += (pos2 * bit2).ravel()
+        zeros_total = width - ones2[:, -1:] - bit2[:, -1:]
+        np.add(ones2, zeros_total, out=ones2)
+        np.copyto(pos2, ones2, where=bit2)  # pos2 is now the new position
+        split2 = other.reshape(shape)
+        np.put_along_axis(split2, pos2, rows, axis=1)
+        by_rank, other = other, by_rank
+        level -= 1
+    width = 1 << level
+    rows = by_rank.reshape(padded >> level, width)
+    pairs = rows[:, :, None] > rows[:, None, :]
+    pairs &= np.tril(np.ones((width, width), dtype=bool), -1)
+    counts[by_rank] += pairs.sum(axis=2, dtype=dtype).ravel()
+    return counts[:n].astype(np.int64, copy=False)
+
+
+def _partition_bit(
+    cur: np.ndarray,
+    idx: np.ndarray,
+    out_cur: np.ndarray,
+    out_idx: np.ndarray,
+    level: int,
+    bit: np.ndarray,
+    ones: np.ndarray,
+    pos: np.ndarray,
+    cols: np.ndarray,
+) -> None:
+    """Stably partition the whole stream by bit ``level`` of ``cur``.
+
+    Zeros first, ones after, original order within each half.  Any two
+    adjacent elements of different sets already differ in their low
+    ``level`` bits, so a *global* stable partition keeps every refined
+    set contiguous and in time order — no per-segment bookkeeping.
+    """
+    np.bitwise_and(np.right_shift(cur, level, out=ones), 1, out=ones)
+    np.not_equal(ones, 0, out=bit)
+    np.cumsum(bit, out=ones)
+    total_ones = int(ones[-1])
+    ones -= bit  # ones strictly before
+    np.subtract(cols, ones, out=pos)
+    np.add(ones, len(cur) - total_ones, out=ones)
+    np.copyto(pos, ones, where=bit)  # destination slot of every element
+    out_cur[pos] = cur
+    out_idx[pos] = idx
+
+
+class _LevelSlice:
+    """Per-level harvest: non-first previous-positions plus bookkeeping.
+
+    ``prev``/``firsts_before`` are parallel arrays over the level's
+    *non-first* survivors only; ``compressed`` is the full survivor
+    count (firsts included — the level's position-coordinate range),
+    ``num_firsts`` the first-reference count and ``removed`` the in-set
+    repeats dropped by run compression (stack distance exactly 1).
+    """
+
+    __slots__ = ("level", "prev", "firsts_before", "compressed", "num_firsts", "removed")
+
+    def __init__(
+        self,
+        level: int,
+        prev: np.ndarray,
+        firsts_before: np.ndarray,
+        compressed: int,
+        num_firsts: int,
+        removed: int,
+    ) -> None:
+        self.level = level
+        self.prev = prev
+        self.firsts_before = firsts_before
+        self.compressed = compressed
+        self.num_firsts = num_firsts
+        self.removed = removed
+
+
+def _harvest_level(
+    cur: np.ndarray,
+    idx: np.ndarray,
+    pocc: np.ndarray,
+    gmap: np.ndarray,
+    keep: np.ndarray,
+    cpos: np.ndarray,
+    level: int,
+) -> _LevelSlice:
+    """Compress one level's grouped stream and extract ``p`` per survivor.
+
+    ``cur``/``idx`` hold the grouped stream (contiguous per-set segments,
+    time order within).  Adjacent equal blocks are in-set repeats of
+    stack distance 1; they are dropped and counted separately.  For a
+    survivor, the previous occurrence of its block (``pocc``, a time
+    index shared by all levels) maps through ``gmap`` to the compressed
+    position of that occurrence's *run start* — the most recent survivor
+    of the same block — which is exactly its compressed-coordinates
+    previous position.  First references (no previous occurrence — a
+    block's first in-set reference is its first reference ever) are
+    split out: only their running count is kept, not their positions.
+    """
+    n = len(cur)
+    keep[0] = True
+    np.not_equal(cur[1:], cur[:-1], out=keep[1:])
+    np.cumsum(keep, out=cpos)
+    cpos -= 1  # grouped position -> compressed position of its run start
+    gmap[idx] = cpos
+    cidx = idx[keep]
+    prev_time = pocc[cidx]
+    has_prev = prev_time >= 0
+    prev = gmap[prev_time[has_prev]]
+    firsts_before = np.cumsum(~has_prev, dtype=np.int32)[has_prev]
+    compressed = len(cidx)
+    return _LevelSlice(
+        level,
+        prev,
+        firsts_before,
+        compressed,
+        compressed - len(prev),
+        n - compressed,
+    )
+
+
+def stack_distance_hits(
+    block_sequence: np.ndarray, set_counts: Sequence[int], max_ways: int
+) -> Dict[int, np.ndarray]:
+    """Per-set-count cumulative LRU hit counts, capped at ``max_ways``.
+
+    Returns ``{num_sets: hits}`` where ``hits[a]`` is the number of
+    references whose set-relative stack distance is at most ``a``
+    (``a = 0..max_ways``), i.e. the exact hit count of an
+    ``a``-way LRU cache with ``num_sets`` sets.  One radix pass groups
+    all set counts; one shared rank count covers every level.
+    """
+    if max_ways < 1:
+        raise ConfigurationError(f"max_ways must be at least 1, got {max_ways}")
+    max_ways = int(max_ways)
+    blocks = np.asarray(block_sequence, dtype=np.int64)
+    by_sets = _checked_levels(set_counts)
+    if not by_sets:
+        return {}
+    n = len(blocks)
+    if n == 0:
+        return {
+            num_sets: np.zeros(max_ways + 1, dtype=np.int64) for num_sets in by_sets
+        }
+    wanted = sorted(set(by_sets.values()))
+    hi = wanted[-1]
+    dense, pocc, distinct = _dense_ids_and_prev(blocks)
+    # Radix keys: set bits in the low ``hi`` positions (so every swept
+    # level partitions on a key bit) with the dense block id above them
+    # (so key equality is block equality, for run compression).
+    key64 = (dense << hi) | (blocks & ((1 << hi) - 1))
+    compact = distinct << hi <= (1 << 31) - 1 and n <= (1 << 31) - 1
+    dtype = np.int32 if compact else np.int64
+    cur = key64.astype(dtype, copy=False)
+    idx = np.arange(n, dtype=dtype)
+    out_cur = np.empty(n, dtype=dtype)
+    out_idx = np.empty(n, dtype=dtype)
+    pocc = pocc.astype(dtype, copy=False)
+    gmap = np.empty(n, dtype=dtype)
+    bit = np.empty(n, dtype=bool)
+    ones = np.empty(n, dtype=dtype)
+    pos = np.empty(n, dtype=dtype)
+    cols = np.arange(n, dtype=dtype)
+    slices: List[_LevelSlice] = []
+    for level in range(hi + 1):
+        if level in wanted:
+            slices.append(
+                _harvest_level(cur, idx, pocc, gmap, bit, ones, level)
+            )
+        if level < hi:
+            _partition_bit(cur, idx, out_cur, out_idx, level, bit, ones, pos, cols)
+            cur, out_cur = out_cur, cur
+            idx, out_idx = out_idx, idx
+    hits_by_level = _concatenated_hits(slices, n, max_ways)
+    return {num_sets: hits_by_level[level] for num_sets, level in by_sets.items()}
+
+
+def _concatenated_hits(
+    slices: Sequence[_LevelSlice], references: int, max_ways: int
+) -> Dict[int, np.ndarray]:
+    """One shared rank count over every level's compressed stream.
+
+    The per-level ``p`` arrays (non-firsts only) are laid end to end
+    with cumulative position offsets ``base_k`` (full survivor counts,
+    firsts included, so ``p`` keeps its positional meaning).  For an
+    element of level ``k``, every non-first of an earlier level has both
+    a smaller position and a smaller offset value, so the tree counts it
+    automatically, adding a constant that cancels in ``d = C - p``.
+    Firsts are cheaper than the tree: a first of an earlier level always
+    counts (one constant per level), and a first of the *same* level
+    counts exactly when it is positionally earlier (the per-element
+    ``firsts_before`` cumsum from the harvest).  With firsts out, the
+    remaining values are globally unique — the counting-sort rank needs
+    no tie-breaking.
+    """
+    total = sum(len(s.prev) for s in slices)
+    span_total = sum(s.compressed for s in slices)
+    vdtype = np.int32 if span_total < (1 << 31) - 1 else np.int64
+    # vals = (base + p) + 1 over non-firsts of every level.
+    vals = np.empty(total, dtype=vdtype)
+    extra = np.empty(total, dtype=vdtype)
+    level_of = np.empty(total, dtype=np.int64)
+    base = 0
+    firsts_so_far = 0
+    fill = 0
+    for ordinal, s in enumerate(slices):
+        m = len(s.prev)
+        span = slice(fill, fill + m)
+        np.add(s.prev, base + 1, out=vals[span], casting="unsafe")
+        # Firsts counted without the tree: all of the earlier levels',
+        # plus the positionally-earlier ones of this level.
+        np.add(s.firsts_before, firsts_so_far, out=extra[span], casting="unsafe")
+        level_of[span] = ordinal
+        base += s.compressed
+        firsts_so_far += s.num_firsts
+        fill += m
+    counts = np.bincount(vals, minlength=base)
+    offsets = np.cumsum(counts)
+    offsets -= counts
+    if vdtype is np.int32:
+        offsets = offsets.astype(np.int32, copy=False)
+    rank = offsets[vals]
+    distance = _rank_counts(rank)
+    distance += 1
+    distance += extra
+    distance -= vals
+    np.minimum(distance, max_ways + 1, out=distance)
+    hist_key = level_of
+    hist_key *= max_ways + 2
+    hist_key += distance
+    histogram = np.bincount(
+        hist_key, minlength=len(slices) * (max_ways + 2)
+    ).reshape(len(slices), max_ways + 2)
+    hits_by_level: Dict[int, np.ndarray] = {}
+    for ordinal, s in enumerate(slices):
+        hits = np.cumsum(histogram[ordinal])[: max_ways + 1]
+        hits[1:] += s.removed  # dropped in-set repeats: distance exactly 1
+        hits_by_level[s.level] = hits
+    return hits_by_level
+
+
+@dataclass(frozen=True)
+class MissPlane:
+    """Exact LRU miss counts over a whole ``(set count x ways)`` plane.
+
+    Attributes:
+        references: Stream length (the miss count denominator).
+        max_ways: Largest associativity the plane answers.
+        hits: ``{num_sets: hits}`` cumulative hit counts by ways
+            (:func:`stack_distance_hits` output).
+    """
+
+    references: int
+    max_ways: int
+    hits: Mapping[int, np.ndarray]
+
+    @property
+    def set_counts(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.hits))
+
+    def misses(self, num_sets: int, ways: int) -> int:
+        """Exact miss count of a ``num_sets x ways`` LRU cache."""
+        if num_sets not in self.hits:
+            raise ConfigurationError(
+                f"plane does not cover {num_sets} sets "
+                f"(covered: {list(self.set_counts)})"
+            )
+        if not 1 <= ways <= self.max_ways:
+            raise ConfigurationError(
+                f"plane covers 1..{self.max_ways} ways, asked for {ways}"
+            )
+        return self.references - int(self.hits[num_sets][ways])
+
+    def capacity_misses(self, size_blocks: int, ways: int) -> int:
+        """Miss count at fixed capacity: ``size_blocks / ways`` sets."""
+        if ways < 1 or size_blocks % ways != 0:
+            raise ConfigurationError(
+                f"associativity {ways} does not divide {size_blocks} blocks"
+            )
+        num_sets = size_blocks // ways
+        if not is_power_of_two(num_sets):
+            raise ConfigurationError(
+                f"{size_blocks} blocks / {ways} ways is not a "
+                "power-of-two set count"
+            )
+        return self.misses(num_sets, ways)
+
+
+def _checked_ways(ways: Sequence[int]) -> Tuple[int, ...]:
+    cleaned = []
+    for way in ways:
+        if int(way) != way or way < 1:
+            raise ConfigurationError(f"associativity must be a positive int: {way}")
+        cleaned.append(int(way))
+    if not cleaned:
+        raise ConfigurationError("need at least one associativity")
+    return tuple(cleaned)
+
+
+def all_associativity_misses(
+    block_sequence: np.ndarray,
+    set_counts: Sequence[int],
+    ways: Sequence[int],
+) -> Dict[Tuple[int, int], int]:
+    """Exact miss counts for every ``(num_sets, ways)`` point at once.
+
+    Returns ``{(num_sets, ways): misses}`` over the full cross product,
+    bit-identical to one :func:`~repro.cache.assoc_sim.
+    set_associative_misses` call per point, from a single stack-distance
+    pass per set count.
+    """
+    ways = _checked_ways(ways)
+    blocks = np.asarray(block_sequence, dtype=np.int64)
+    hits = stack_distance_hits(blocks, set_counts, max(ways))
+    n = len(blocks)
+    return {
+        (num_sets, way): n - int(level_hits[way])
+        for num_sets, level_hits in hits.items()
+        for way in ways
+    }
+
+
+def capacity_associativity_misses(
+    block_sequence: np.ndarray,
+    capacities_blocks: Sequence[int],
+    ways: Sequence[int],
+) -> Dict[Tuple[int, int], int]:
+    """Fixed-capacity plane: ``{(size_blocks, ways): misses}``.
+
+    Each capacity ``c`` at associativity ``a`` is a ``c / a``-set cache,
+    so the plane isolates the conflict-miss effect of associativity the
+    paper's Section 6 conjecture is about.  All distinct set counts are
+    swept in one pass.
+    """
+    ways = _checked_ways(ways)
+    set_counts = set()
+    pairs: Dict[Tuple[int, int], int] = {}
+    for capacity in capacities_blocks:
+        if not is_power_of_two(capacity):
+            raise ConfigurationError(
+                f"capacity must be a power of two: {capacity}"
+            )
+        for way in ways:
+            if capacity % way != 0 or not is_power_of_two(capacity // way):
+                raise ConfigurationError(
+                    f"associativity {way} does not divide {capacity} blocks "
+                    "into a power-of-two set count"
+                )
+            pairs[(int(capacity), way)] = capacity // way
+            set_counts.add(capacity // way)
+    blocks = np.asarray(block_sequence, dtype=np.int64)
+    hits = stack_distance_hits(blocks, sorted(set_counts), max(ways))
+    n = len(blocks)
+    return {
+        (capacity, way): n - int(hits[num_sets][way])
+        for (capacity, way), num_sets in pairs.items()
+    }

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,6 +42,7 @@ from repro.sched import (
     expand_istream,
 )
 from repro.cache.fastsim import addresses_to_blocks, direct_mapped_miss_sweep
+from repro.cache.stackdist import MissPlane, _checked_ways, stack_distance_hits
 from repro.trace import execute_program
 from repro.trace.executor import ExecutionTrace
 from repro.trace.compiled import CompiledProgram
@@ -59,7 +60,12 @@ from repro.workload import (
     synthesize_program,
 )
 
-__all__ = ["SuiteMeasurement", "GENERATOR_VERSION", "MISS_AXIS_VERSION"]
+__all__ = [
+    "SuiteMeasurement",
+    "GENERATOR_VERSION",
+    "MISS_AXIS_VERSION",
+    "MISS_PLANE_VERSION",
+]
 
 #: Bump to invalidate cached traces when the generator changes behaviour.
 GENERATOR_VERSION = 5
@@ -69,6 +75,12 @@ GENERATOR_VERSION = 5
 #: changes behaviour; independent of GENERATOR_VERSION so a sweep change
 #: never invalidates the (far more expensive) cached traces.
 MISS_AXIS_VERSION = 1
+
+#: Version of the whole-plane associativity artifacts (``imiss_plane`` /
+#: ``dmiss_plane``): exact LRU miss counts for every (set count, ways)
+#: point from one stack-distance pass.  Bump when the stack-distance
+#: simulator or the plane schema changes behaviour.
+MISS_PLANE_VERSION = 1
 
 #: Largest per-side cache the paper sweeps (KW).  A miss-axis artifact
 #: always covers at least this size, so every size of the paper grid for
@@ -524,6 +536,153 @@ class SuiteMeasurement:
             block_words=block_words,
             max_sets=max_sets,
         )
+
+    def _check_plane_column(
+        self, kind: str, plane: MissPlane, axis: Mapping[int, int]
+    ) -> None:
+        """The plane's direct-mapped column must match the miss axis.
+
+        Both artifacts claim to be exact over the same stream, by two
+        unrelated algorithms — a disagreement means one of them is
+        wrong, so it is fatal rather than a warning.
+        """
+        for num_sets in plane.set_counts:
+            if plane.misses(num_sets, 1) != axis[num_sets]:
+                raise RuntimeError(
+                    f"{kind}: stack-distance A=1 column disagrees with the "
+                    f"direct-mapped miss axis at {num_sets} sets "
+                    f"({plane.misses(num_sets, 1)} != {axis[num_sets]})"
+                )
+
+    def icache_miss_plane(
+        self, slots: int, block_words: int, max_sets: int, max_ways: int
+    ) -> MissPlane:
+        """L1-I LRU misses over the whole (set count x ways) plane.
+
+        One content-addressed artifact per (stream, block, ways) triple
+        holds exact miss counts for every power-of-two set count up to
+        ``max_sets`` at every associativity ``1..max_ways``, produced by
+        a single stack-distance pass
+        (:func:`~repro.cache.stackdist.stack_distance_hits`).  The
+        direct-mapped column is cross-checked against
+        :meth:`icache_miss_axis` before the plane is stored.
+        """
+        set_counts = [1 << k for k in range(log2_int(max_sets) + 1)]
+
+        def sweep() -> MissPlane:
+            self.tracer.count("cache_sweeps")
+            stream = self.istream_blocks(slots, block_words)
+            with self.tracer.span(
+                "imiss.plane",
+                slots=slots,
+                block_words=block_words,
+                max_sets=max_sets,
+                max_ways=max_ways,
+            ) as span:
+                span.count("sizes", len(set_counts))
+                span.count("ways", max_ways)
+                span.count("references", len(stream))
+                hits = stack_distance_hits(stream, set_counts, max_ways)
+                plane = MissPlane(
+                    references=len(stream), max_ways=max_ways, hits=hits
+                )
+            self._check_plane_column(
+                "imiss_plane", plane, self.icache_miss_axis(slots, block_words, max_sets)
+            )
+            return plane
+
+        return self.store.get_or_create(
+            "imiss_plane",
+            MISS_PLANE_VERSION,
+            sweep,
+            slots=slots,
+            block_words=block_words,
+            max_sets=max_sets,
+            max_ways=max_ways,
+        )
+
+    def dcache_miss_plane(
+        self, block_words: int, max_sets: int, max_ways: int
+    ) -> MissPlane:
+        """L1-D LRU misses over the whole (set count x ways) plane."""
+        set_counts = [1 << k for k in range(log2_int(max_sets) + 1)]
+
+        def sweep() -> MissPlane:
+            self.tracer.count("cache_sweeps")
+            stream = self.dstream_blocks(block_words)
+            with self.tracer.span(
+                "dmiss.plane",
+                block_words=block_words,
+                max_sets=max_sets,
+                max_ways=max_ways,
+            ) as span:
+                span.count("sizes", len(set_counts))
+                span.count("ways", max_ways)
+                span.count("references", len(stream))
+                hits = stack_distance_hits(stream, set_counts, max_ways)
+                plane = MissPlane(
+                    references=len(stream), max_ways=max_ways, hits=hits
+                )
+            self._check_plane_column(
+                "dmiss_plane", plane, self.dcache_miss_axis(block_words, max_sets)
+            )
+            return plane
+
+        return self.store.get_or_create(
+            "dmiss_plane",
+            MISS_PLANE_VERSION,
+            sweep,
+            block_words=block_words,
+            max_sets=max_sets,
+            max_ways=max_ways,
+        )
+
+    def icache_assoc_sweep(
+        self,
+        slots: int,
+        block_words: int,
+        sizes_kw: Sequence[float],
+        ways: Sequence[int],
+    ) -> Dict[Tuple[float, int], int]:
+        """L1-I misses over a (capacity x ways) grid from one shared plane.
+
+        Each ``(size_kw, a)`` point is a ``size/a``-set, ``a``-way LRU
+        cache, so the grid isolates the conflict-miss effect of
+        associativity at fixed capacity.
+        """
+        ways = _checked_ways(ways)
+        caps = {
+            size_kw: self._derived_sets("I", block_words, size_kw)
+            for size_kw in sizes_kw
+        }
+        if not caps:
+            return {}
+        top = self._axis_top(block_words, max(caps.values()))
+        plane = self.icache_miss_plane(slots, block_words, top, max(ways))
+        return {
+            (size_kw, way): plane.capacity_misses(capacity, way)
+            for size_kw, capacity in caps.items()
+            for way in ways
+        }
+
+    def dcache_assoc_sweep(
+        self, block_words: int, sizes_kw: Sequence[float], ways: Sequence[int]
+    ) -> Dict[Tuple[float, int], int]:
+        """L1-D misses over a (capacity x ways) grid from one shared plane."""
+        ways = _checked_ways(ways)
+        caps = {
+            size_kw: self._derived_sets("D", block_words, size_kw)
+            for size_kw in sizes_kw
+        }
+        if not caps:
+            return {}
+        top = self._axis_top(block_words, max(caps.values()))
+        plane = self.dcache_miss_plane(block_words, top, max(ways))
+        return {
+            (size_kw, way): plane.capacity_misses(capacity, way)
+            for size_kw, capacity in caps.items()
+            for way in ways
+        }
 
     def icache_miss_sweep(
         self, slots: int, block_words: int, sizes_kw: Sequence[float]

@@ -91,6 +91,11 @@ class DesignOptimizer:
         tech: Technology parameters for the cycle-time model.
         executor: Sweep backend (default: the session's executor, so a
             ``--jobs N`` CLI flag propagates here without plumbing).
+        assoc_ways: Associativities an accompanying study will query (e.g.
+            the ``ext_associativity`` surface).  When non-empty,
+            :meth:`sweep` pre-warms the whole-plane ``imiss_plane`` /
+            ``dmiss_plane`` artifacts alongside the direct-mapped miss
+            axes, so later plane lookups are store hits.
     """
 
     def __init__(
@@ -98,11 +103,13 @@ class DesignOptimizer:
         measurement: SuiteMeasurement,
         tech: Technology = DEFAULT_TECHNOLOGY,
         executor: "SweepExecutor | None" = None,
+        assoc_ways: Sequence[int] = (),
     ) -> None:
         self.measurement = measurement
         self.model = CpiModel(measurement)
         self.tech = tech
         self.executor = executor if executor is not None else measurement.executor
+        self.assoc_ways = tuple(assoc_ways)
         self.tracer = measurement.tracer
         self._tech_digest = cache_key(**asdict(tech))
 
@@ -130,6 +137,10 @@ class DesignOptimizer:
         every per-point miss lookup during evaluation into a store hit,
         and surfaces the sweep cost as its own spans instead of hiding it
         inside the first evaluated point.
+
+        With ``assoc_ways`` set, the associativity planes are warmed the
+        same way (their factories also warm the direct-mapped axes, so
+        the subsequent axis sweeps are pure store hits).
         """
         icache_grid: Dict[Tuple[int, int], set] = {}
         dcache_grid: Dict[int, set] = {}
@@ -139,8 +150,16 @@ class DesignOptimizer:
             ).add(config.icache_kw)
             dcache_grid.setdefault(config.block_words, set()).add(config.dcache_kw)
         for (slots, block_words), sizes in sorted(icache_grid.items()):
+            if self.assoc_ways:
+                self.measurement.icache_assoc_sweep(
+                    slots, block_words, sorted(sizes), self.assoc_ways
+                )
             self.measurement.icache_miss_sweep(slots, block_words, sorted(sizes))
         for block_words, sizes in sorted(dcache_grid.items()):
+            if self.assoc_ways:
+                self.measurement.dcache_assoc_sweep(
+                    block_words, sorted(sizes), self.assoc_ways
+                )
             self.measurement.dcache_miss_sweep(block_words, sorted(sizes))
 
     def _prefill_parallel(self, configs: Sequence[SystemConfig]) -> bool:

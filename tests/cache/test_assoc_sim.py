@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cache import Cache, associative_miss_sweep, set_associative_misses
+from repro.cache import assoc_sim
 from repro.errors import ConfigurationError
 
 
@@ -59,6 +60,42 @@ class TestSetAssociativeMisses:
         for block in blocks:
             oracle.access(block * block_words * 4)
         assert fast == oracle.stats.misses
+
+    @given(
+        blocks=st.lists(st.integers(min_value=0, max_value=63), max_size=150),
+        assoc_log2=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fully_associative_short_circuit(self, blocks, assoc_log2):
+        # num_sets == 1 takes the dedicated single-dict path; it must be
+        # bit-identical to the reference Cache.
+        assoc = 1 << assoc_log2
+        block_words = 4
+        fast = set_associative_misses(np.array(blocks, dtype=np.int64), 1, assoc)
+        oracle = Cache(
+            size_words=assoc * block_words,
+            block_words=block_words,
+            associativity=assoc,
+        )
+        for block in blocks:
+            oracle.access(block * block_words * 4)
+        assert fast == oracle.stats.misses
+
+    def test_ways_at_least_stream_length_is_cold_misses_only(self):
+        blocks = np.array([3, 5, 3, 7, 5], dtype=np.int64)
+        # associativity >= len(stream): no set can ever evict.
+        assert set_associative_misses(blocks, 4, 8) == 3
+        assert set_associative_misses(blocks, 1, 5) == 3
+
+    def test_chunked_iteration_is_identical(self, monkeypatch):
+        rng = np.random.default_rng(9)
+        blocks = (rng.random(1000) ** 2 * 256).astype(np.int64)
+        expected_sa = set_associative_misses(blocks, 16, 4)
+        expected_fa = set_associative_misses(blocks, 1, 64)
+        # Force many tiny chunks; the counts must not change.
+        monkeypatch.setattr(assoc_sim, "_CHUNK_REFERENCES", 7)
+        assert set_associative_misses(blocks, 16, 4) == expected_sa
+        assert set_associative_misses(blocks, 1, 64) == expected_fa
 
     def test_more_ways_never_more_misses_on_skewed_stream(self):
         rng = np.random.default_rng(5)

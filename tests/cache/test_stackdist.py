@@ -1,0 +1,180 @@
+"""Stack-distance plane tests: oracle equivalence and degenerate cases.
+
+The single-pass simulator must be *bit-identical* to the dict-LRU oracle
+(:func:`set_associative_misses`) and to the step-by-step reference
+:class:`Cache` at every (set count, ways) point, and its ``A = 1`` column
+must match the direct-mapped single-pass sweep.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import (
+    Cache,
+    MissPlane,
+    all_associativity_misses,
+    capacity_associativity_misses,
+    direct_mapped_miss_sweep,
+    set_associative_misses,
+    stack_distance_hits,
+)
+from repro.errors import ConfigurationError
+
+streams = st.lists(st.integers(min_value=0, max_value=255), max_size=300)
+
+
+class TestStackDistanceHits:
+    def test_empty_stream_is_all_zero(self):
+        hits = stack_distance_hits(np.array([], dtype=np.int64), [1, 4, 16], 8)
+        assert set(hits) == {1, 4, 16}
+        for level_hits in hits.values():
+            assert level_hits.tolist() == [0] * 9
+
+    def test_no_set_counts(self):
+        assert stack_distance_hits(np.array([0, 1, 2]), [], 4) == {}
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            stack_distance_hits(np.array([0]), [3], 2)
+        with pytest.raises(ConfigurationError):
+            stack_distance_hits(np.array([0]), [4], 0)
+
+    def test_single_set_repeats(self):
+        # Five refs to one block in one set: 4 hits at every ways >= 1.
+        hits = stack_distance_hits(np.array([7, 7, 7, 7, 7]), [1, 2], 2)
+        assert hits[1].tolist() == [0, 4, 4]
+        assert hits[2].tolist() == [0, 4, 4]
+
+    def test_all_distinct_never_hits(self):
+        hits = stack_distance_hits(np.arange(64), [1, 8], 4)
+        assert hits[1].tolist() == [0] * 5
+        assert hits[8].tolist() == [0] * 5
+
+    def test_hits_monotone_in_ways(self):
+        rng = np.random.default_rng(11)
+        blocks = (rng.random(5000) ** 2 * 512).astype(np.int64)
+        for level_hits in stack_distance_hits(blocks, [1, 4, 32], 8).values():
+            diffs = np.diff(level_hits)
+            assert (diffs >= 0).all()
+
+    @given(blocks=streams)
+    @settings(max_examples=40, deadline=None)
+    def test_ways_beyond_distinct_blocks_saturate(self, blocks):
+        # Once ways >= distinct blocks no set can ever evict, so every
+        # miss is cold and extra ways cannot add hits.
+        stream = np.array(blocks, dtype=np.int64)
+        distinct = len(set(blocks))
+        hits = stack_distance_hits(stream, [4], distinct + 1)
+        assert int(hits[4][-1]) == len(blocks) - distinct
+        saturated = hits[4][distinct:]
+        assert (saturated == saturated[-1]).all()
+
+
+class TestPlaneEquivalence:
+    @given(
+        blocks=streams,
+        levels=st.sets(st.integers(min_value=0, max_value=6), min_size=1),
+        max_ways=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_dict_lru_everywhere(self, blocks, levels, max_ways):
+        stream = np.array(blocks, dtype=np.int64)
+        set_counts = [1 << k for k in levels]
+        ways = list(range(1, max_ways + 1))
+        plane = all_associativity_misses(stream, set_counts, ways)
+        for num_sets in set_counts:
+            for way in ways:
+                assert plane[(num_sets, way)] == set_associative_misses(
+                    stream, num_sets, way
+                ), (num_sets, way)
+
+    @given(
+        blocks=st.lists(st.integers(min_value=0, max_value=63), max_size=120),
+        sets_log2=st.integers(min_value=0, max_value=4),
+        assoc_log2=st.integers(min_value=0, max_value=2),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_reference_cache(self, blocks, sets_log2, assoc_log2):
+        # The reference Cache wants power-of-two total sizes, so the
+        # ways axis is sampled at powers of two here (the dict-LRU
+        # equivalence test covers non-power-of-two ways).
+        num_sets = 1 << sets_log2
+        assoc = 1 << assoc_log2
+        block_words = 4
+        plane = all_associativity_misses(
+            np.array(blocks, dtype=np.int64), [num_sets], [assoc]
+        )
+        oracle = Cache(
+            size_words=num_sets * assoc * block_words,
+            block_words=block_words,
+            associativity=assoc,
+        )
+        for block in blocks:
+            oracle.access(block * block_words * 4)
+        assert plane[(num_sets, assoc)] == oracle.stats.misses
+
+    @given(blocks=streams)
+    @settings(max_examples=40, deadline=None)
+    def test_direct_mapped_column_matches_sweep(self, blocks):
+        stream = np.array(blocks, dtype=np.int64)
+        set_counts = [1, 2, 8, 64]
+        plane = all_associativity_misses(stream, set_counts, [1])
+        sweep = direct_mapped_miss_sweep(stream, set_counts)
+        assert {s: plane[(s, 1)] for s in set_counts} == sweep
+
+    @given(
+        blocks=streams,
+        cap_log2=st.integers(min_value=3, max_value=6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_capacity_plane_matches_per_point_oracle(self, blocks, cap_log2):
+        stream = np.array(blocks, dtype=np.int64)
+        capacity = 1 << cap_log2
+        plane = capacity_associativity_misses(stream, [capacity], (1, 2, 4, 8))
+        for way in (1, 2, 4, 8):
+            assert plane[(capacity, way)] == set_associative_misses(
+                stream, capacity // way, way
+            )
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            capacity_associativity_misses(np.array([0]), [12], (1,))
+        with pytest.raises(ConfigurationError):
+            capacity_associativity_misses(np.array([0]), [16], (3,))
+        with pytest.raises(ConfigurationError):
+            capacity_associativity_misses(np.array([0]), [16], ())
+
+
+class TestMissPlane:
+    def plane(self):
+        blocks = np.array([0, 8, 0, 16, 0, 8, 24, 0], dtype=np.int64)
+        hits = stack_distance_hits(blocks, [1, 2, 4, 8], 4)
+        return blocks, MissPlane(references=len(blocks), max_ways=4, hits=hits)
+
+    def test_misses_lookup(self):
+        blocks, plane = self.plane()
+        assert plane.set_counts == (1, 2, 4, 8)
+        for num_sets in plane.set_counts:
+            for way in (1, 2, 4):
+                assert plane.misses(num_sets, way) == set_associative_misses(
+                    blocks, num_sets, way
+                )
+
+    def test_capacity_misses(self):
+        blocks, plane = self.plane()
+        assert plane.capacity_misses(8, 2) == set_associative_misses(blocks, 4, 2)
+
+    def test_uncovered_points_raise(self):
+        _, plane = self.plane()
+        with pytest.raises(ConfigurationError):
+            plane.misses(16, 1)
+        with pytest.raises(ConfigurationError):
+            plane.misses(4, 5)
+        with pytest.raises(ConfigurationError):
+            plane.misses(4, 0)
+        with pytest.raises(ConfigurationError):
+            plane.capacity_misses(4, 3)  # 3 does not divide 4 blocks
+        with pytest.raises(ConfigurationError):
+            plane.capacity_misses(48, 3)  # 16 sets: not covered by the plane

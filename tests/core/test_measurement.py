@@ -147,6 +147,50 @@ class TestStreamsAndMisses:
         assert measurement.icache_miss_sweep(0, 4, ()) == {}
         assert measurement.dcache_miss_sweep(4, ()) == {}
 
+
+class TestMissPlanes:
+    def test_direct_mapped_column_matches_axis(self, measurement):
+        plane = measurement.dcache_miss_plane(4, 256, 4)
+        axis = measurement.dcache_miss_axis(4, 256)
+        for num_sets in plane.set_counts:
+            assert plane.misses(num_sets, 1) == axis[num_sets]
+
+    def test_plane_matches_dict_lru_oracle(self, measurement):
+        from repro.cache.assoc_sim import set_associative_misses
+
+        plane = measurement.dcache_miss_plane(4, 256, 4)
+        blocks = measurement.dstream_blocks(4)
+        for num_sets in (1, 16, 256):
+            for ways in (2, 4):
+                assert plane.misses(num_sets, ways) == set_associative_misses(
+                    blocks, num_sets, ways
+                )
+
+    def test_iplane_matches_dict_lru_oracle(self, measurement):
+        from repro.cache.assoc_sim import set_associative_misses
+
+        plane = measurement.icache_miss_plane(0, 4, 64, 2)
+        blocks = measurement.istream_blocks(0, 4)
+        assert plane.misses(64, 2) == set_associative_misses(blocks, 64, 2)
+
+    def test_plane_is_one_artifact_per_stream_block_ways(self, measurement):
+        measurement.dcache_assoc_sweep(4, (1,), (1, 2, 4))
+        before = measurement.store.stats().misses
+        sweep = measurement.dcache_assoc_sweep(4, (1, 2, 4, 8, 16, 32), (1, 2, 4))
+        assert measurement.store.stats().misses == before
+        assert len(sweep) == 18
+
+    def test_assoc_sweep_ways1_matches_miss_sweep(self, measurement):
+        sizes = (1, 4, 16)
+        assoc = measurement.dcache_assoc_sweep(4, sizes, (1, 2))
+        plain = measurement.dcache_miss_sweep(4, sizes)
+        for size in sizes:
+            assert assoc[(size, 1)] == plain[size]
+
+    def test_empty_assoc_sweep(self, measurement):
+        assert measurement.dcache_assoc_sweep(4, (), (1, 2)) == {}
+        assert measurement.icache_assoc_sweep(0, 4, (), (1, 2)) == {}
+
     def test_benchmark_rows_regenerate_table1(self, measurement):
         rows = measurement.benchmark_rows()
         assert len(rows) == len(measurement.specs)

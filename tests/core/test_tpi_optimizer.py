@@ -123,6 +123,40 @@ class TestOptimizer:
         best18 = optimizer.optimize_symmetric(SystemConfig(penalty=18))
         assert best18.config.combined_l1_kw >= best6.config.combined_l1_kw
 
+    def test_assoc_ways_prewarms_the_planes(self, measurement):
+        from repro.core.measurement import MISS_PLANE_VERSION
+
+        optimizer = DesignOptimizer(measurement, assoc_ways=(1, 2, 4))
+        base = SystemConfig(penalty=10)
+        configs = [
+            dataclasses.replace(base, icache_kw=kw, dcache_kw=kw) for kw in (4, 8)
+        ]
+        optimizer.sweep(configs)
+        # The sweep must have left whole-plane artifacts behind for both
+        # sides, keyed by the axis-extended top set count.
+        top = measurement._axis_top(4, 8192)
+        assert (
+            measurement.store.peek(
+                "dmiss_plane",
+                MISS_PLANE_VERSION,
+                block_words=4,
+                max_sets=top,
+                max_ways=4,
+            )
+            is not None
+        )
+        assert (
+            measurement.store.peek(
+                "imiss_plane",
+                MISS_PLANE_VERSION,
+                slots=base.branch_slots,
+                block_words=4,
+                max_sets=top,
+                max_ways=4,
+            )
+            is not None
+        )
+
     def test_best_independent_of_grid_order(self, optimizer):
         grid = optimizer.symmetric_grid(SystemConfig(penalty=10))
         assert optimizer.best(grid) == optimizer.best(list(reversed(grid)))

@@ -1,0 +1,53 @@
+"""Associativity benchmark CLI tests: grid shape, ledger, equivalence."""
+
+import io
+
+import pytest
+
+from repro.engine.session import SessionRegistry
+from repro.errors import ConfigurationError
+from repro.experiments.bench_assoc import grid_cases, main, run_benchmark
+from repro.experiments.ext_associativity import ASSOCIATIVITIES, CAPACITIES_KW
+from repro.obs.ledger import validate_metrics
+
+
+@pytest.fixture
+def registry(measurement):
+    registry = SessionRegistry()
+    registry.set("quick", measurement)
+    return registry
+
+
+class TestGridCases:
+    def test_covers_the_ext_associativity_surface(self, measurement):
+        ((label, blocks, capacities, ways),) = grid_cases(measurement)
+        assert label == "dstream[B=4]"
+        assert len(blocks) > 0
+        assert len(capacities) == len(CAPACITIES_KW)
+        assert ways == ASSOCIATIVITIES
+        assert all(b == 2 * a for a, b in zip(capacities, capacities[1:]))
+
+
+class TestRunBenchmark:
+    def test_ledger_is_valid_and_records_speedup(self, registry, tmp_path):
+        ledger = run_benchmark(
+            scale="quick", repeats=1, registry=registry, stream=io.StringIO()
+        )
+        names = [entry["name"] for entry in ledger.experiments]
+        assert any(name.startswith("legacy:") for name in names)
+        assert any(name.startswith("plane:") for name in names)
+        assert ledger.run_info["speedup"] > 0
+        assert ledger.run_info["benchmark"] == "assoc-plane"
+        path = ledger.write(tmp_path / "bench.json")
+        validate_metrics(ledger.load(path))
+
+    def test_rejects_bad_repeats(self, registry):
+        with pytest.raises(ConfigurationError, match="repeats"):
+            run_benchmark(scale="quick", repeats=0, registry=registry)
+
+
+class TestCli:
+    def test_rejects_bad_repeats(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--repeats", "0"])
+        assert "--repeats" in capsys.readouterr().err

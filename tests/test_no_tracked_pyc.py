@@ -1,0 +1,26 @@
+"""Tier-1 guard: compiled bytecode must never be committed.
+
+PR 4 accidentally committed 104 ``__pycache__`` files; this test makes
+that class of mistake fail the suite instead of slipping through review.
+"""
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_no_tracked_bytecode():
+    if shutil.which("git") is None or not (REPO_ROOT / ".git").exists():
+        pytest.skip("not running from a git checkout")
+    proc = subprocess.run(
+        ["git", "-C", str(REPO_ROOT), "ls-files", "*.pyc", "*.pyo", "__pycache__"],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    tracked = [line for line in proc.stdout.splitlines() if line]
+    assert tracked == [], f"bytecode files are tracked by git: {tracked[:10]}"
