@@ -12,7 +12,12 @@ Two complementary simulators:
 * :mod:`~repro.cache.stackdist` — a vectorized single-pass
   all-associativity LRU simulator (Mattson stack distances): one pass
   yields exact miss counts for every (set count, ways) point of a
-  :class:`~repro.cache.stackdist.MissPlane` at once.
+  :class:`~repro.cache.stackdist.MissPlane` at once;
+* :mod:`~repro.cache.misscube` — the unified engine over both: one pass
+  over a byte-address stream answers the whole
+  (block size x set count x ways) cube as a
+  :class:`~repro.cache.misscube.MissCube`, sharing a single rank count
+  across every block size and set count.
 
 :mod:`~repro.cache.refill` models the paper's miss penalties (a 2-cycle
 startup plus the block transfer at the memory system's refill rate), and
@@ -38,6 +43,13 @@ from repro.cache.stackdist import (
     capacity_associativity_misses,
     stack_distance_hits,
 )
+from repro.cache.misscube import (
+    MISS_CUBE_VERSION,
+    MissCube,
+    capacity_set_counts,
+    miss_cube,
+    miss_cube_from_addresses,
+)
 from repro.cache.hierarchy import CacheHierarchy
 
 __all__ = [
@@ -60,5 +72,10 @@ __all__ = [
     "stack_distance_hits",
     "all_associativity_misses",
     "capacity_associativity_misses",
+    "MISS_CUBE_VERSION",
+    "MissCube",
+    "capacity_set_counts",
+    "miss_cube",
+    "miss_cube_from_addresses",
     "CacheHierarchy",
 ]

@@ -24,6 +24,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cache.geometry import checked_block_words, checked_levels
 from repro.errors import ConfigurationError
 from repro.utils.units import WORD_BYTES, is_power_of_two, log2_int
 
@@ -45,8 +46,7 @@ def addresses_to_blocks(addresses: np.ndarray, block_words: int) -> np.ndarray:
     data streams must keep every reference because an intervening
     conflicting reference can evict the block.
     """
-    if not is_power_of_two(block_words):
-        raise ConfigurationError(f"block size must be a power of two: {block_words}")
+    (block_words,) = checked_block_words((block_words,))
     shift = log2_int(block_words * WORD_BYTES)
     return np.asarray(addresses, dtype=np.int64) >> shift
 
@@ -211,16 +211,9 @@ def _sweep_levels(
     return counts, masks
 
 
-def _checked_levels(set_counts: Sequence[int]) -> Dict[int, int]:
-    """Map ``num_sets -> log2(num_sets)``, validating every entry."""
-    levels: Dict[int, int] = {}
-    for num_sets in set_counts:
-        if not is_power_of_two(num_sets):
-            raise ConfigurationError(
-                f"set count must be a power of two: {num_sets}"
-            )
-        levels[int(num_sets)] = log2_int(int(num_sets))
-    return levels
+# Kept under the historical name: the shared validator now lives in
+# :mod:`repro.cache.geometry` (one rulebook for every miss-counting layer).
+_checked_levels = checked_levels
 
 
 def direct_mapped_miss_sweep(

@@ -65,7 +65,7 @@ from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
-from repro.cache.fastsim import _checked_levels
+from repro.cache.geometry import checked_levels, checked_ways
 from repro.errors import ConfigurationError
 from repro.utils.units import is_power_of_two
 
@@ -357,30 +357,20 @@ def _harvest_level(
     )
 
 
-def stack_distance_hits(
-    block_sequence: np.ndarray, set_counts: Sequence[int], max_ways: int
-) -> Dict[int, np.ndarray]:
-    """Per-set-count cumulative LRU hit counts, capped at ``max_ways``.
+def _stream_slices(
+    blocks: np.ndarray, wanted: Sequence[int]
+) -> Dict[int, _LevelSlice]:
+    """Harvest one stream's compressed slices at every wanted level.
 
-    Returns ``{num_sets: hits}`` where ``hits[a]`` is the number of
-    references whose set-relative stack distance is at most ``a``
-    (``a = 0..max_ways``), i.e. the exact hit count of an
-    ``a``-way LRU cache with ``num_sets`` sets.  One radix pass groups
-    all set counts; one shared rank count covers every level.
+    ``wanted`` is a sorted list of ``log2(num_sets)`` levels.  One LSD
+    radix chain visits them all: the stream is stably partitioned one
+    set-index bit at a time, and each wanted level is compressed and
+    harvested in passing.  Returns ``{level: slice}``; the slices are
+    self-contained (positions are level-local), so slices from
+    *different streams* — other set-count levels, or other block sizes
+    entirely — can share one rank count via :func:`_concatenated_hits`.
     """
-    if max_ways < 1:
-        raise ConfigurationError(f"max_ways must be at least 1, got {max_ways}")
-    max_ways = int(max_ways)
-    blocks = np.asarray(block_sequence, dtype=np.int64)
-    by_sets = _checked_levels(set_counts)
-    if not by_sets:
-        return {}
     n = len(blocks)
-    if n == 0:
-        return {
-            num_sets: np.zeros(max_ways + 1, dtype=np.int64) for num_sets in by_sets
-        }
-    wanted = sorted(set(by_sets.values()))
     hi = wanted[-1]
     dense, pocc, distinct = _dense_ids_and_prev(blocks)
     # Radix keys: set bits in the low ``hi`` positions (so every swept
@@ -399,37 +389,105 @@ def stack_distance_hits(
     ones = np.empty(n, dtype=dtype)
     pos = np.empty(n, dtype=dtype)
     cols = np.arange(n, dtype=dtype)
-    slices: List[_LevelSlice] = []
+    wanted_set = set(wanted)
+    slices: Dict[int, _LevelSlice] = {}
     for level in range(hi + 1):
-        if level in wanted:
-            slices.append(
-                _harvest_level(cur, idx, pocc, gmap, bit, ones, level)
-            )
+        if level in wanted_set:
+            slices[level] = _harvest_level(cur, idx, pocc, gmap, bit, ones, level)
         if level < hi:
             _partition_bit(cur, idx, out_cur, out_idx, level, bit, ones, pos, cols)
             cur, out_cur = out_cur, cur
             idx, out_idx = out_idx, idx
-    hits_by_level = _concatenated_hits(slices, n, max_ways)
+    return slices
+
+
+def stack_distance_hits(
+    block_sequence: np.ndarray, set_counts: Sequence[int], max_ways: int
+) -> Dict[int, np.ndarray]:
+    """Per-set-count cumulative LRU hit counts, capped at ``max_ways``.
+
+    Returns ``{num_sets: hits}`` where ``hits[a]`` is the number of
+    references whose set-relative stack distance is at most ``a``
+    (``a = 0..max_ways``), i.e. the exact hit count of an
+    ``a``-way LRU cache with ``num_sets`` sets.  One radix pass groups
+    all set counts; one shared rank count covers every level.
+    """
+    if max_ways < 1:
+        raise ConfigurationError(f"max_ways must be at least 1, got {max_ways}")
+    max_ways = int(max_ways)
+    blocks = np.asarray(block_sequence, dtype=np.int64)
+    by_sets = checked_levels(set_counts)
+    if not by_sets:
+        return {}
+    if len(blocks) == 0:
+        return {
+            num_sets: np.zeros(max_ways + 1, dtype=np.int64) for num_sets in by_sets
+        }
+    wanted = sorted(set(by_sets.values()))
+    slices = _stream_slices(blocks, wanted)
+    hits_list = _concatenated_hits([slices[level] for level in wanted], max_ways)
+    hits_by_level = dict(zip(wanted, hits_list))
     return {num_sets: hits_by_level[level] for num_sets, level in by_sets.items()}
 
 
-def _concatenated_hits(
-    slices: Sequence[_LevelSlice], references: int, max_ways: int
-) -> Dict[int, np.ndarray]:
-    """One shared rank count over every level's compressed stream.
+#: Largest concatenation the packed merge tree of :func:`_rank_counts`
+#: accepts (three ``ceil(log2 n)``-bit fields in one int64).  Beyond it
+#: the slower scatter tree takes over, so the concatenation is chunked
+#: at slice boundaries to stay packed — slices are mutually independent
+#: (cross-slice pairs cancel), so chunking never changes a count.
+_PACKED_LIMIT = 1 << 21
 
-    The per-level ``p`` arrays (non-firsts only) are laid end to end
+
+def _concatenated_hits(
+    slices: Sequence[_LevelSlice], max_ways: int
+) -> List[np.ndarray]:
+    """Shared rank counts over every slice's compressed stream.
+
+    Slices are laid end to end and share a rank count per chunk; chunks
+    are cut at slice boundaries so each stays within
+    :data:`_PACKED_LIMIT`, keeping the packed (no-scatter) merge tree —
+    the independence argument below makes any grouping of whole slices
+    exact, so chunking is purely a speed choice.  Returns the cumulative
+    hit counts per slice, in input order.
+    """
+    hits_list: List[np.ndarray] = []
+    chunk: List[_LevelSlice] = []
+    chunk_len = 0
+    for s in slices:
+        m = len(s.prev)
+        if chunk and chunk_len + m > _PACKED_LIMIT:
+            hits_list.extend(_chunk_hits(chunk, max_ways))
+            chunk, chunk_len = [], 0
+        chunk.append(s)
+        chunk_len += m
+    if chunk:
+        hits_list.extend(_chunk_hits(chunk, max_ways))
+    return hits_list
+
+
+def _chunk_hits(
+    slices: Sequence[_LevelSlice], max_ways: int
+) -> List[np.ndarray]:
+    """One shared rank count over every slice's compressed stream.
+
+    The per-slice ``p`` arrays (non-firsts only) are laid end to end
     with cumulative position offsets ``base_k`` (full survivor counts,
     firsts included, so ``p`` keeps its positional meaning).  For an
-    element of level ``k``, every non-first of an earlier level has both
+    element of slice ``k``, every non-first of an earlier slice has both
     a smaller position and a smaller offset value, so the tree counts it
     automatically, adding a constant that cancels in ``d = C - p``.
-    Firsts are cheaper than the tree: a first of an earlier level always
-    counts (one constant per level), and a first of the *same* level
-    counts exactly when it is positionally earlier (the per-element
-    ``firsts_before`` cumsum from the harvest).  With firsts out, the
-    remaining values are globally unique — the counting-sort rank needs
-    no tie-breaking.
+    The argument only needs each slice's positions to be level-local and
+    its non-first values unique, so the slices may come from different
+    set-count levels of one stream *or from different streams entirely*
+    (the miss cube concatenates every (block size, level) pair this
+    way).  Firsts are cheaper than the tree: a first of an earlier slice
+    always counts (one constant per slice), and a first of the *same*
+    slice counts exactly when it is positionally earlier (the
+    per-element ``firsts_before`` cumsum from the harvest).  With firsts
+    out, the remaining values are globally unique — the counting-sort
+    rank needs no tie-breaking.  Returns the cumulative hit counts per
+    slice, in input order, with each slice's run-compression removals
+    already added back at every ``ways >= 1``.
     """
     total = sum(len(s.prev) for s in slices)
     span_total = sum(s.compressed for s in slices)
@@ -469,12 +527,12 @@ def _concatenated_hits(
     histogram = np.bincount(
         hist_key, minlength=len(slices) * (max_ways + 2)
     ).reshape(len(slices), max_ways + 2)
-    hits_by_level: Dict[int, np.ndarray] = {}
+    hits_list: List[np.ndarray] = []
     for ordinal, s in enumerate(slices):
         hits = np.cumsum(histogram[ordinal])[: max_ways + 1]
         hits[1:] += s.removed  # dropped in-set repeats: distance exactly 1
-        hits_by_level[s.level] = hits
-    return hits_by_level
+        hits_list.append(hits)
+    return hits_list
 
 
 @dataclass(frozen=True)
@@ -524,15 +582,9 @@ class MissPlane:
         return self.misses(num_sets, ways)
 
 
-def _checked_ways(ways: Sequence[int]) -> Tuple[int, ...]:
-    cleaned = []
-    for way in ways:
-        if int(way) != way or way < 1:
-            raise ConfigurationError(f"associativity must be a positive int: {way}")
-        cleaned.append(int(way))
-    if not cleaned:
-        raise ConfigurationError("need at least one associativity")
-    return tuple(cleaned)
+# Kept under the historical name: the shared validator now lives in
+# :mod:`repro.cache.geometry`.
+_checked_ways = checked_ways
 
 
 def all_associativity_misses(

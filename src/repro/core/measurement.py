@@ -42,7 +42,14 @@ from repro.sched import (
     expand_istream,
 )
 from repro.cache.fastsim import addresses_to_blocks, direct_mapped_miss_sweep
-from repro.cache.stackdist import MissPlane, _checked_ways, stack_distance_hits
+from repro.cache.geometry import checked_block_words, checked_ways, derived_sets
+from repro.cache.misscube import (
+    MISS_CUBE_VERSION,
+    MissCube,
+    capacity_set_counts,
+    miss_cube,
+)
+from repro.cache.stackdist import MissPlane
 from repro.trace import execute_program
 from repro.trace.executor import ExecutionTrace
 from repro.trace.compiled import CompiledProgram
@@ -63,29 +70,29 @@ from repro.workload import (
 __all__ = [
     "SuiteMeasurement",
     "GENERATOR_VERSION",
-    "MISS_AXIS_VERSION",
-    "MISS_PLANE_VERSION",
+    "MISS_CUBE_VERSION",
 ]
 
 #: Bump to invalidate cached traces when the generator changes behaviour.
 GENERATOR_VERSION = 5
 
-#: Version of the whole-axis miss-sweep artifacts (``imiss_axis`` /
-#: ``dmiss_axis``).  Bump when the single-pass sweep or the axis schema
-#: changes behaviour; independent of GENERATOR_VERSION so a sweep change
-#: never invalidates the (far more expensive) cached traces.
-MISS_AXIS_VERSION = 1
+# MISS_CUBE_VERSION (re-exported from repro.cache.misscube) governs the
+# whole-cube miss artifacts ``imiss_cube`` / ``dmiss_cube``; it subsumes
+# the retired per-axis (MISS_AXIS_VERSION) and per-plane
+# (MISS_PLANE_VERSION) schemas.  It is independent of GENERATOR_VERSION
+# so an engine change never invalidates the (far more expensive) cached
+# traces.
 
-#: Version of the whole-plane associativity artifacts (``imiss_plane`` /
-#: ``dmiss_plane``): exact LRU miss counts for every (set count, ways)
-#: point from one stack-distance pass.  Bump when the stack-distance
-#: simulator or the plane schema changes behaviour.
-MISS_PLANE_VERSION = 1
+#: Largest per-side cache the paper sweeps (KW).  A miss-cube artifact
+#: always covers at least this capacity, so every size of the paper grid
+#: for one stream family is answered by a single cube artifact.
+_CUBE_MAX_KW = 32
 
-#: Largest per-side cache the paper sweeps (KW).  A miss-axis artifact
-#: always covers at least this size, so every size of the paper grid for
-#: one (stream, block) pair is answered by a single sweep artifact.
-_AXIS_MAX_KW = 32
+#: Largest associativity the paper studies.  Cubes are always built at
+#: least this deep: the stack-distance pass costs the same regardless of
+#: ``max_ways``, and a canonical depth lets direct-mapped lookups and
+#: associativity sweeps share one artifact.
+_CUBE_MAX_WAYS = 8
 
 
 def _trace_arrays_valid(arrays: Mapping[str, np.ndarray]) -> bool:
@@ -180,6 +187,11 @@ class SuiteMeasurement:
         #: optimizer sweeps over this session journal their shards into
         #: the configured run directory and become resumable.
         self.job_config = None
+        #: Cube routing hints: ``(side, slots, block_words) -> key params``
+        #: of an already-built cube covering that block size, so later
+        #: single-block requests become store hits on the covering cube
+        #: instead of building a narrower artifact.
+        self._cube_index: Dict[Tuple[str, Optional[int], int], Dict[str, int]] = {}
 
         total_weight = sum(spec.weight for spec in self.specs)
         self._budgets = [
@@ -426,11 +438,20 @@ class SuiteMeasurement:
             "istream", GENERATOR_VERSION, build, slots=slots, block_words=block_words
         )
 
-    def dstream_blocks(self, block_words: int) -> np.ndarray:
-        """Multiprogrammed data stream at cache-block granularity."""
+    def dstream_addresses(self) -> np.ndarray:
+        """Multiprogrammed data stream as byte addresses (block-independent).
+
+        The per-benchmark address models are expanded and interleaved
+        exactly once; every block granularity of the data stream is a
+        pure shift view of this artifact.  Reducing addresses to block
+        indices is elementwise and length-preserving, so it commutes
+        with the quantum interleave — :meth:`dstream_blocks` at any
+        block size is bit-identical to interleaving per-benchmark block
+        streams directly.
+        """
 
         def build() -> np.ndarray:
-            with self.tracer.span("dstream.expand", block_words=block_words):
+            with self.tracer.span("dstream.expand"):
                 sequences = []
                 for bench in self.benchmarks:
                     refs = (
@@ -438,12 +459,21 @@ class SuiteMeasurement:
                         + bench.trace.category_counts["stores"]
                     )
                     model = DataReferenceModel(bench.spec, seed=self.seed)
-                    addresses = model.generate(refs) + address_space_offset(bench.index)
-                    sequences.append(addresses_to_blocks(addresses, block_words))
+                    sequences.append(
+                        model.generate(refs) + address_space_offset(bench.index)
+                    )
                 quanta = multiprogram_quanta(
                     [len(s) for s in sequences], self.switches
                 )
                 return interleave_chunks(sequences, quanta)
+
+        return self.store.get_or_create("dstream_addr", GENERATOR_VERSION, build)
+
+    def dstream_blocks(self, block_words: int) -> np.ndarray:
+        """Multiprogrammed data stream at cache-block granularity."""
+
+        def build() -> np.ndarray:
+            return addresses_to_blocks(self.dstream_addresses(), block_words)
 
         return self.store.get_or_create(
             "dstream", GENERATOR_VERSION, build, block_words=block_words
@@ -452,190 +482,242 @@ class SuiteMeasurement:
     # -- miss counts -------------------------------------------------------------
 
     def _derived_sets(self, side: str, block_words: int, size_kw: float) -> int:
-        """Set count of a direct-mapped side, validated before simulation.
+        """Set count of a direct-mapped side, validated before simulation."""
+        return derived_sets(size_kw, block_words, context=f"L1-{side}")
 
-        ``size // block`` silently yields 0 or a non-power-of-two for odd
-        geometries, which would corrupt indexing downstream — reject the
-        configuration instead.
+    def _cube_capacity(
+        self, side: str, blocks: Tuple[int, ...], capacity_words: Optional[int]
+    ) -> int:
+        """Canonical top capacity (words) of a cube artifact.
+
+        A cube always extends to the paper's largest per-side cache, so
+        every geometry of the paper grid for one stream family maps to
+        one shared artifact; larger one-off requests get a wider cube.
         """
-        try:
-            words = kw_to_words(size_kw)
-        except ConfigurationError as exc:
-            raise ConfigurationError(f"invalid L1-{side} geometry: {exc}") from exc
-        sets = words // block_words
-        if words % block_words != 0 or sets <= 0 or not is_power_of_two(sets):
+        capacity = max(
+            kw_to_words(_CUBE_MAX_KW), blocks[-1], int(capacity_words or 0)
+        )
+        if not is_power_of_two(capacity):
             raise ConfigurationError(
-                f"invalid L1-{side} geometry: {size_kw:g} KW with "
-                f"{block_words}-word blocks gives {sets} sets "
-                f"(need a positive power of two)"
+                f"invalid L1-{side} geometry: cube capacity must be a "
+                f"power of two: {capacity} words"
             )
-        return sets
+        return capacity
 
-    def _axis_top(self, block_words: int, sets: int) -> int:
-        """Top set count of the miss-axis artifact covering ``sets``.
+    def _check_cube_base(
+        self, kind: str, cube: MissCube, streams: Mapping[int, np.ndarray]
+    ) -> None:
+        """Every A=1 base of the cube must match the direct-mapped sweep.
 
-        The axis always extends to the paper's largest per-side cache, so
-        every size of the paper grid for one (stream, block) pair maps to
-        one shared artifact; larger one-off requests get a wider axis.
+        Both claim to be exact over the same streams, by two unrelated
+        algorithms (stack distances vs. adjacent-tag comparison) — a
+        disagreement means one of them is wrong, so it is fatal rather
+        than a warning.  This is also what pins every cube-backed
+        experiment output to the retired per-axis simulation bit for
+        bit.
         """
-        words = kw_to_words(_AXIS_MAX_KW)
-        if words % block_words == 0:
-            paper_top = words // block_words
-            if is_power_of_two(paper_top):
-                sets = max(sets, paper_top)
-        return sets
+        for block_words, stream in streams.items():
+            axis = direct_mapped_miss_sweep(stream, cube.set_counts(block_words))
+            for num_sets, expected in axis.items():
+                got = cube.misses(block_words, num_sets, 1)
+                if got != expected:
+                    raise RuntimeError(
+                        f"{kind}: cube A=1 base disagrees with the "
+                        f"direct-mapped sweep at B={block_words}, "
+                        f"{num_sets} sets ({got} != {expected})"
+                    )
+
+    def _register_cube(
+        self,
+        side: str,
+        slots: Optional[int],
+        blocks: Tuple[int, ...],
+        capacity_words: int,
+        max_ways: int,
+    ) -> None:
+        """Remember a built cube as the routing target for its block sizes."""
+        for block_words in blocks:
+            key = (side, slots, block_words)
+            entry = self._cube_index.get(key)
+            if (
+                entry is None
+                or (
+                    capacity_words >= entry["capacity_words"]
+                    and max_ways >= entry["max_ways"]
+                )
+            ):
+                self._cube_index[key] = {
+                    "blocks": blocks,
+                    "capacity_words": capacity_words,
+                    "max_ways": max_ways,
+                }
+
+    def _cube_view(
+        self,
+        side: str,
+        slots: Optional[int],
+        block_words: int,
+        min_sets: int,
+        min_ways: int,
+    ) -> MissCube:
+        """The cube artifact answering one (block, sets, ways) request.
+
+        Routed through the session's cube index, so a single-block
+        request lands on an already-built multi-block cube that covers
+        it (a store hit) instead of building a narrower artifact.
+        """
+        entry = self._cube_index.get((side, slots, block_words))
+        if (
+            entry is not None
+            and entry["capacity_words"] >= min_sets * block_words
+            and entry["max_ways"] >= min_ways
+        ):
+            blocks = entry["blocks"]
+            capacity: Optional[int] = entry["capacity_words"]
+            ways: Optional[int] = entry["max_ways"]
+        else:
+            blocks = (block_words,)
+            capacity = min_sets * block_words
+            ways = min_ways
+        if side == "I":
+            assert slots is not None
+            return self.icache_miss_cube(
+                slots, blocks, capacity_words=capacity, max_ways=ways
+            )
+        return self.dcache_miss_cube(blocks, capacity_words=capacity, max_ways=ways)
+
+    def icache_miss_cube(
+        self,
+        slots: int,
+        block_words: Sequence[int],
+        capacity_words: Optional[int] = None,
+        max_ways: Optional[int] = None,
+    ) -> MissCube:
+        """L1-I LRU misses over the whole (block x sets x ways) cube.
+
+        One content-addressed artifact per (stream family, blocks,
+        capacity, ways) tuple holds exact miss counts for every covered
+        geometry: each block size at every power-of-two set count up to
+        ``capacity_words // block`` and every associativity up to
+        ``max_ways``, produced by a single engine pass
+        (:func:`~repro.cache.misscube.miss_cube`) over the per-block
+        instruction streams.  The bounds are canonicalized (at least the
+        paper's 32 KW capacity and 8 ways — the pass costs the same), so
+        axis, plane, and sweep views all resolve to the same artifact.
+        Every block size's ``A = 1`` base is cross-checked against the
+        independent :func:`~repro.cache.fastsim.direct_mapped_miss_sweep`
+        before the cube is stored.
+        """
+        blocks = checked_block_words(block_words, context="L1-I")
+        capacity = self._cube_capacity("I", blocks, capacity_words)
+        ways = max(int(max_ways or 1), _CUBE_MAX_WAYS)
+        set_counts = capacity_set_counts(blocks, capacity, context="L1-I")
+
+        def build() -> MissCube:
+            self.tracer.count("cache_sweeps")
+            streams = {B: self.istream_blocks(slots, B) for B in blocks}
+            with self.tracer.span(
+                "imiss.cube",
+                slots=slots,
+                blocks=",".join(str(b) for b in blocks),
+                capacity_words=capacity,
+                max_ways=ways,
+            ) as span:
+                span.count("block_sizes", len(blocks))
+                span.count("references", sum(len(s) for s in streams.values()))
+                cube = miss_cube(streams, set_counts, ways)
+            self._check_cube_base("imiss_cube", cube, streams)
+            return cube
+
+        cube = self.store.get_or_create(
+            "imiss_cube",
+            MISS_CUBE_VERSION,
+            build,
+            slots=slots,
+            blocks=",".join(str(b) for b in blocks),
+            capacity_words=capacity,
+            max_ways=ways,
+        )
+        self._register_cube("I", slots, blocks, capacity, ways)
+        return cube
+
+    def dcache_miss_cube(
+        self,
+        block_words: Sequence[int],
+        capacity_words: Optional[int] = None,
+        max_ways: Optional[int] = None,
+    ) -> MissCube:
+        """L1-D LRU misses over the whole (block x sets x ways) cube.
+
+        The data-side cube consumes the single block-independent address
+        stream (:meth:`dstream_addresses`); block-size doubling is one
+        more shift view inside the engine
+        (:func:`~repro.cache.misscube.miss_cube_from_addresses`
+        semantics, with the shift views shared through the store).
+        """
+        blocks = checked_block_words(block_words, context="L1-D")
+        capacity = self._cube_capacity("D", blocks, capacity_words)
+        ways = max(int(max_ways or 1), _CUBE_MAX_WAYS)
+        set_counts = capacity_set_counts(blocks, capacity, context="L1-D")
+
+        def build() -> MissCube:
+            self.tracer.count("cache_sweeps")
+            streams = {B: self.dstream_blocks(B) for B in blocks}
+            with self.tracer.span(
+                "dmiss.cube",
+                blocks=",".join(str(b) for b in blocks),
+                capacity_words=capacity,
+                max_ways=ways,
+            ) as span:
+                span.count("block_sizes", len(blocks))
+                span.count("references", sum(len(s) for s in streams.values()))
+                cube = miss_cube(streams, set_counts, ways)
+            self._check_cube_base("dmiss_cube", cube, streams)
+            return cube
+
+        cube = self.store.get_or_create(
+            "dmiss_cube",
+            MISS_CUBE_VERSION,
+            build,
+            blocks=",".join(str(b) for b in blocks),
+            capacity_words=capacity,
+            max_ways=ways,
+        )
+        self._register_cube("D", None, blocks, capacity, ways)
+        return cube
 
     def icache_miss_axis(
         self, slots: int, block_words: int, max_sets: int
     ) -> Dict[int, int]:
         """L1-I misses for every power-of-two set count up to ``max_sets``.
 
-        One content-addressed artifact per (stream, block) pair holds the
-        whole size axis, produced by a single pass over the instruction
-        stream (:func:`~repro.cache.fastsim.direct_mapped_miss_sweep`).
+        A view of the shared miss cube (one artifact per stream family).
         """
-        set_counts = [1 << k for k in range(log2_int(max_sets) + 1)]
-
-        def sweep() -> Dict[int, int]:
-            self.tracer.count("cache_sweeps")
-            stream = self.istream_blocks(slots, block_words)
-            with self.tracer.span(
-                "imiss.sweep", slots=slots, block_words=block_words, max_sets=max_sets
-            ) as span:
-                span.count("sizes", len(set_counts))
-                span.count("references", len(stream))
-                return direct_mapped_miss_sweep(stream, set_counts)
-
-        return self.store.get_or_create(
-            "imiss_axis",
-            MISS_AXIS_VERSION,
-            sweep,
-            slots=slots,
-            block_words=block_words,
-            max_sets=max_sets,
-        )
+        cube = self._cube_view("I", slots, block_words, max_sets, 1)
+        return cube.axis(block_words, max_sets=max_sets)
 
     def dcache_miss_axis(self, block_words: int, max_sets: int) -> Dict[int, int]:
         """L1-D misses for every power-of-two set count up to ``max_sets``."""
-        set_counts = [1 << k for k in range(log2_int(max_sets) + 1)]
-
-        def sweep() -> Dict[int, int]:
-            self.tracer.count("cache_sweeps")
-            stream = self.dstream_blocks(block_words)
-            with self.tracer.span(
-                "dmiss.sweep", block_words=block_words, max_sets=max_sets
-            ) as span:
-                span.count("sizes", len(set_counts))
-                span.count("references", len(stream))
-                return direct_mapped_miss_sweep(stream, set_counts)
-
-        return self.store.get_or_create(
-            "dmiss_axis",
-            MISS_AXIS_VERSION,
-            sweep,
-            block_words=block_words,
-            max_sets=max_sets,
-        )
-
-    def _check_plane_column(
-        self, kind: str, plane: MissPlane, axis: Mapping[int, int]
-    ) -> None:
-        """The plane's direct-mapped column must match the miss axis.
-
-        Both artifacts claim to be exact over the same stream, by two
-        unrelated algorithms — a disagreement means one of them is
-        wrong, so it is fatal rather than a warning.
-        """
-        for num_sets in plane.set_counts:
-            if plane.misses(num_sets, 1) != axis[num_sets]:
-                raise RuntimeError(
-                    f"{kind}: stack-distance A=1 column disagrees with the "
-                    f"direct-mapped miss axis at {num_sets} sets "
-                    f"({plane.misses(num_sets, 1)} != {axis[num_sets]})"
-                )
+        cube = self._cube_view("D", None, block_words, max_sets, 1)
+        return cube.axis(block_words, max_sets=max_sets)
 
     def icache_miss_plane(
         self, slots: int, block_words: int, max_sets: int, max_ways: int
     ) -> MissPlane:
-        """L1-I LRU misses over the whole (set count x ways) plane.
+        """L1-I LRU misses over one block size's (set count x ways) plane.
 
-        One content-addressed artifact per (stream, block, ways) triple
-        holds exact miss counts for every power-of-two set count up to
-        ``max_sets`` at every associativity ``1..max_ways``, produced by
-        a single stack-distance pass
-        (:func:`~repro.cache.stackdist.stack_distance_hits`).  The
-        direct-mapped column is cross-checked against
-        :meth:`icache_miss_axis` before the plane is stored.
+        A trimmed view of the shared miss cube, shaped exactly like the
+        retired per-block plane artifacts (bit for bit).
         """
-        set_counts = [1 << k for k in range(log2_int(max_sets) + 1)]
-
-        def sweep() -> MissPlane:
-            self.tracer.count("cache_sweeps")
-            stream = self.istream_blocks(slots, block_words)
-            with self.tracer.span(
-                "imiss.plane",
-                slots=slots,
-                block_words=block_words,
-                max_sets=max_sets,
-                max_ways=max_ways,
-            ) as span:
-                span.count("sizes", len(set_counts))
-                span.count("ways", max_ways)
-                span.count("references", len(stream))
-                hits = stack_distance_hits(stream, set_counts, max_ways)
-                plane = MissPlane(
-                    references=len(stream), max_ways=max_ways, hits=hits
-                )
-            self._check_plane_column(
-                "imiss_plane", plane, self.icache_miss_axis(slots, block_words, max_sets)
-            )
-            return plane
-
-        return self.store.get_or_create(
-            "imiss_plane",
-            MISS_PLANE_VERSION,
-            sweep,
-            slots=slots,
-            block_words=block_words,
-            max_sets=max_sets,
-            max_ways=max_ways,
-        )
+        cube = self._cube_view("I", slots, block_words, max_sets, max_ways)
+        return cube.plane(block_words, max_sets=max_sets, max_ways=max_ways)
 
     def dcache_miss_plane(
         self, block_words: int, max_sets: int, max_ways: int
     ) -> MissPlane:
-        """L1-D LRU misses over the whole (set count x ways) plane."""
-        set_counts = [1 << k for k in range(log2_int(max_sets) + 1)]
-
-        def sweep() -> MissPlane:
-            self.tracer.count("cache_sweeps")
-            stream = self.dstream_blocks(block_words)
-            with self.tracer.span(
-                "dmiss.plane",
-                block_words=block_words,
-                max_sets=max_sets,
-                max_ways=max_ways,
-            ) as span:
-                span.count("sizes", len(set_counts))
-                span.count("ways", max_ways)
-                span.count("references", len(stream))
-                hits = stack_distance_hits(stream, set_counts, max_ways)
-                plane = MissPlane(
-                    references=len(stream), max_ways=max_ways, hits=hits
-                )
-            self._check_plane_column(
-                "dmiss_plane", plane, self.dcache_miss_axis(block_words, max_sets)
-            )
-            return plane
-
-        return self.store.get_or_create(
-            "dmiss_plane",
-            MISS_PLANE_VERSION,
-            sweep,
-            block_words=block_words,
-            max_sets=max_sets,
-            max_ways=max_ways,
-        )
+        """L1-D LRU misses over one block size's (set count x ways) plane."""
+        cube = self._cube_view("D", None, block_words, max_sets, max_ways)
+        return cube.plane(block_words, max_sets=max_sets, max_ways=max_ways)
 
     def icache_assoc_sweep(
         self,
@@ -644,23 +726,22 @@ class SuiteMeasurement:
         sizes_kw: Sequence[float],
         ways: Sequence[int],
     ) -> Dict[Tuple[float, int], int]:
-        """L1-I misses over a (capacity x ways) grid from one shared plane.
+        """L1-I misses over a (capacity x ways) grid from the shared cube.
 
         Each ``(size_kw, a)`` point is a ``size/a``-set, ``a``-way LRU
         cache, so the grid isolates the conflict-miss effect of
         associativity at fixed capacity.
         """
-        ways = _checked_ways(ways)
+        ways = checked_ways(ways, context="L1-I")
         caps = {
             size_kw: self._derived_sets("I", block_words, size_kw)
             for size_kw in sizes_kw
         }
         if not caps:
             return {}
-        top = self._axis_top(block_words, max(caps.values()))
-        plane = self.icache_miss_plane(slots, block_words, top, max(ways))
+        cube = self._cube_view("I", slots, block_words, max(caps.values()), max(ways))
         return {
-            (size_kw, way): plane.capacity_misses(capacity, way)
+            (size_kw, way): cube.capacity_misses(block_words, capacity, way)
             for size_kw, capacity in caps.items()
             for way in ways
         }
@@ -668,18 +749,17 @@ class SuiteMeasurement:
     def dcache_assoc_sweep(
         self, block_words: int, sizes_kw: Sequence[float], ways: Sequence[int]
     ) -> Dict[Tuple[float, int], int]:
-        """L1-D misses over a (capacity x ways) grid from one shared plane."""
-        ways = _checked_ways(ways)
+        """L1-D misses over a (capacity x ways) grid from the shared cube."""
+        ways = checked_ways(ways, context="L1-D")
         caps = {
             size_kw: self._derived_sets("D", block_words, size_kw)
             for size_kw in sizes_kw
         }
         if not caps:
             return {}
-        top = self._axis_top(block_words, max(caps.values()))
-        plane = self.dcache_miss_plane(block_words, top, max(ways))
+        cube = self._cube_view("D", None, block_words, max(caps.values()), max(ways))
         return {
-            (size_kw, way): plane.capacity_misses(capacity, way)
+            (size_kw, way): cube.capacity_misses(block_words, capacity, way)
             for size_kw, capacity in caps.items()
             for way in ways
         }
@@ -687,42 +767,48 @@ class SuiteMeasurement:
     def icache_miss_sweep(
         self, slots: int, block_words: int, sizes_kw: Sequence[float]
     ) -> Dict[float, int]:
-        """L1-I misses for many cache sizes at once (one shared sweep)."""
+        """L1-I misses for many cache sizes at once (one shared cube)."""
         sets_by_size = {
             size_kw: self._derived_sets("I", block_words, size_kw)
             for size_kw in sizes_kw
         }
         if not sets_by_size:
             return {}
-        top = self._axis_top(block_words, max(sets_by_size.values()))
-        axis = self.icache_miss_axis(slots, block_words, top)
-        return {size_kw: axis[sets] for size_kw, sets in sets_by_size.items()}
+        cube = self._cube_view(
+            "I", slots, block_words, max(sets_by_size.values()), 1
+        )
+        return {
+            size_kw: cube.misses(block_words, sets, 1)
+            for size_kw, sets in sets_by_size.items()
+        }
 
     def dcache_miss_sweep(
         self, block_words: int, sizes_kw: Sequence[float]
     ) -> Dict[float, int]:
-        """L1-D misses for many cache sizes at once (one shared sweep)."""
+        """L1-D misses for many cache sizes at once (one shared cube)."""
         sets_by_size = {
             size_kw: self._derived_sets("D", block_words, size_kw)
             for size_kw in sizes_kw
         }
         if not sets_by_size:
             return {}
-        top = self._axis_top(block_words, max(sets_by_size.values()))
-        axis = self.dcache_miss_axis(block_words, top)
-        return {size_kw: axis[sets] for size_kw, sets in sets_by_size.items()}
+        cube = self._cube_view("D", None, block_words, max(sets_by_size.values()), 1)
+        return {
+            size_kw: cube.misses(block_words, sets, 1)
+            for size_kw, sets in sets_by_size.items()
+        }
 
     def icache_misses(self, slots: int, block_words: int, size_kw: float) -> int:
         """L1-I misses for one configuration over the whole session."""
         sets = self._derived_sets("I", block_words, size_kw)
-        axis = self.icache_miss_axis(slots, block_words, self._axis_top(block_words, sets))
-        return axis[sets]
+        cube = self._cube_view("I", slots, block_words, sets, 1)
+        return cube.misses(block_words, sets, 1)
 
     def dcache_misses(self, block_words: int, size_kw: float) -> int:
         """L1-D misses for one configuration over the whole session."""
         sets = self._derived_sets("D", block_words, size_kw)
-        axis = self.dcache_miss_axis(block_words, self._axis_top(block_words, sets))
-        return axis[sets]
+        cube = self._cube_view("D", None, block_words, sets, 1)
+        return cube.misses(block_words, sets, 1)
 
     # -- reporting ---------------------------------------------------------------
 

@@ -31,6 +31,7 @@ from repro.engine.executor import SweepExecutor, evaluate_design_point
 from repro.errors import ConfigurationError
 from repro.timing.technology import DEFAULT_TECHNOLOGY, Technology
 from repro.trace.io import cache_key
+from repro.utils.units import kw_to_words
 
 __all__ = ["DesignPoint", "DesignOptimizer", "point_order_key"]
 
@@ -92,10 +93,11 @@ class DesignOptimizer:
         executor: Sweep backend (default: the session's executor, so a
             ``--jobs N`` CLI flag propagates here without plumbing).
         assoc_ways: Associativities an accompanying study will query (e.g.
-            the ``ext_associativity`` surface).  When non-empty,
-            :meth:`sweep` pre-warms the whole-plane ``imiss_plane`` /
-            ``dmiss_plane`` artifacts alongside the direct-mapped miss
-            axes, so later plane lookups are store hits.
+            the ``ext_associativity`` surface).  :meth:`sweep` always
+            pre-warms the whole-cube ``imiss_cube`` / ``dmiss_cube``
+            artifacts — one per stream family — and a cube covers every
+            associativity up to its canonical depth anyway, so this only
+            widens the cube when a study asks for more ways than that.
     """
 
     def __init__(
@@ -129,38 +131,40 @@ class DesignOptimizer:
             **_config_params(config),
         )
 
-    def _warm_miss_axes(self, configs: Sequence[SystemConfig]) -> None:
-        """One single-pass sweep per distinct (stream, block) pair.
+    def _warm_miss_cubes(self, configs: Sequence[SystemConfig]) -> None:
+        """One single-pass miss cube per distinct stream family.
 
         A design grid revisits the same instruction/data streams at many
-        cache sizes; warming the whole-axis miss artifacts up front turns
-        every per-point miss lookup during evaluation into a store hit,
-        and surfaces the sweep cost as its own spans instead of hiding it
-        inside the first evaluated point.
-
-        With ``assoc_ways`` set, the associativity planes are warmed the
-        same way (their factories also warm the direct-mapped axes, so
-        the subsequent axis sweeps are pure store hits).
+        (block size, cache size, ways) geometries; building the whole
+        cube up front — every block size of the grid in one engine pass
+        — turns every per-point miss lookup during evaluation into a
+        store hit, and surfaces the engine cost as its own spans instead
+        of hiding it inside the first evaluated point.
         """
-        icache_grid: Dict[Tuple[int, int], set] = {}
-        dcache_grid: Dict[int, set] = {}
+        max_ways = max(self.assoc_ways, default=1)
+        icache_grid: Dict[int, Dict[str, set]] = {}
+        dcache_grid: Dict[str, set] = {"blocks": set(), "words": set()}
         for config in configs:
-            icache_grid.setdefault(
-                (config.branch_slots, config.block_words), set()
-            ).add(config.icache_kw)
-            dcache_grid.setdefault(config.block_words, set()).add(config.dcache_kw)
-        for (slots, block_words), sizes in sorted(icache_grid.items()):
-            if self.assoc_ways:
-                self.measurement.icache_assoc_sweep(
-                    slots, block_words, sorted(sizes), self.assoc_ways
-                )
-            self.measurement.icache_miss_sweep(slots, block_words, sorted(sizes))
-        for block_words, sizes in sorted(dcache_grid.items()):
-            if self.assoc_ways:
-                self.measurement.dcache_assoc_sweep(
-                    block_words, sorted(sizes), self.assoc_ways
-                )
-            self.measurement.dcache_miss_sweep(block_words, sorted(sizes))
+            side = icache_grid.setdefault(
+                config.branch_slots, {"blocks": set(), "words": set()}
+            )
+            side["blocks"].add(config.block_words)
+            side["words"].add(kw_to_words(config.icache_kw))
+            dcache_grid["blocks"].add(config.block_words)
+            dcache_grid["words"].add(kw_to_words(config.dcache_kw))
+        for slots, side in sorted(icache_grid.items()):
+            self.measurement.icache_miss_cube(
+                slots,
+                sorted(side["blocks"]),
+                capacity_words=max(side["words"]),
+                max_ways=max_ways,
+            )
+        if dcache_grid["blocks"]:
+            self.measurement.dcache_miss_cube(
+                sorted(dcache_grid["blocks"]),
+                capacity_words=max(dcache_grid["words"]),
+                max_ways=max_ways,
+            )
 
     def _prefill_parallel(self, configs: Sequence[SystemConfig]) -> bool:
         """Evaluate not-yet-cached points on the worker pool.
@@ -206,7 +210,7 @@ class DesignOptimizer:
                 "optimizer.serial_fallback", reason=str(exc)
             ) as span:
                 span.count("points", len(missing))
-                self._warm_miss_axes(missing)
+                self._warm_miss_cubes(missing)
                 for config in missing:
                     self.evaluate(config)
             return True
@@ -242,7 +246,7 @@ class DesignOptimizer:
                     self.executor.is_parallel and self._prefill_parallel(configs)
                 )
                 if not prefilled:
-                    self._warm_miss_axes(configs)
+                    self._warm_miss_cubes(configs)
             return [self.evaluate(config) for config in configs]
 
     def symmetric_grid(

@@ -28,6 +28,11 @@ def run(measurement: Optional[SuiteMeasurement] = None) -> ExperimentResult:
     measurement = measurement or get_measurement()
     model = CpiModel(measurement)
     base = SystemConfig(icache_kw=8, dcache_kw=8, branch_slots=2, load_slots=2)
+    # One engine pass per side answers every block size of the study at
+    # once; the per-(rate, block) CPI loop below then runs entirely on
+    # cube slices, with no per-configuration cache simulation.
+    measurement.icache_miss_cube(base.branch_slots, BLOCK_SIZES)
+    measurement.dcache_miss_cube(BLOCK_SIZES)
     rows = []
     data = {}
     for rate in REFILL_RATES:

@@ -356,7 +356,7 @@ class JobRunner:
                 ]
                 fn = worker_exit_evaluate
             return executor.map(fn, items)
-        optimizer._warm_miss_axes(shard)
+        optimizer._warm_miss_cubes(shard)
         return [optimizer.evaluate(config) for config in shard]
 
     def _backoff_s(self, journal: RunJournal, shard: int, attempt: int) -> float:

@@ -1,0 +1,107 @@
+"""The shared power-of-two geometry validators."""
+
+import pytest
+
+from repro.cache.geometry import (
+    checked_block_words,
+    checked_levels,
+    checked_ways,
+    derived_sets,
+    geometry_error,
+)
+from repro.errors import ConfigurationError
+
+
+class TestGeometryError:
+    def test_bare_message(self):
+        err = geometry_error("set count must be a power of two: 3")
+        assert isinstance(err, ConfigurationError)
+        assert str(err) == "set count must be a power of two: 3"
+
+    def test_context_prefix(self):
+        err = geometry_error("set count must be a power of two: 3", "L1-I")
+        assert str(err) == (
+            "invalid L1-I geometry: set count must be a power of two: 3"
+        )
+
+
+class TestCheckedLevels:
+    def test_maps_to_log2(self):
+        assert checked_levels([1, 2, 8]) == {1: 0, 2: 1, 8: 3}
+
+    def test_empty_is_fine(self):
+        assert checked_levels([]) == {}
+
+    @pytest.mark.parametrize("bad", [0, -4, 3, 12])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(ConfigurationError, match="power of two"):
+            checked_levels([4, bad])
+
+    def test_context_in_message(self):
+        with pytest.raises(ConfigurationError, match="L1-D"):
+            checked_levels([3], context="L1-D")
+
+
+class TestCheckedWays:
+    def test_preserves_order(self):
+        assert checked_ways([4, 1, 2]) == (4, 1, 2)
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5])
+    def test_rejects_non_positive_ints(self, bad):
+        with pytest.raises(ConfigurationError, match="positive int"):
+            checked_ways([1, bad])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            checked_ways([])
+
+    def test_context_in_message(self):
+        with pytest.raises(ConfigurationError, match="L1-I"):
+            checked_ways([0], context="L1-I")
+
+
+class TestCheckedBlockWords:
+    def test_sorted_and_deduplicated(self):
+        assert checked_block_words([16, 4, 4, 8]) == (4, 8, 16)
+
+    @pytest.mark.parametrize("bad", [0, -2, 3, 2.5])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(ConfigurationError, match="power of two"):
+            checked_block_words([4, bad])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError, match="at least one block size"):
+            checked_block_words([])
+
+    def test_context_in_message(self):
+        with pytest.raises(ConfigurationError, match="invalid L1-D geometry"):
+            checked_block_words([6], context="L1-D")
+
+
+class TestDerivedSets:
+    def test_paper_geometry(self):
+        assert derived_sets(8, 4) == 2048
+        assert derived_sets(1, 16) == 64
+
+    def test_fractional_kw(self):
+        assert derived_sets(0.5, 4) == 128
+
+    def test_rejects_non_dividing_block(self):
+        with pytest.raises(ConfigurationError, match="3-word blocks"):
+            derived_sets(1, 3)
+
+    def test_rejects_non_power_set_count(self):
+        with pytest.raises(ConfigurationError, match="384 sets"):
+            derived_sets(1.5, 4)
+
+    def test_rejects_block_larger_than_cache(self):
+        with pytest.raises(ConfigurationError, match="0 sets"):
+            derived_sets(1, 2048)
+
+    def test_context_in_message(self):
+        with pytest.raises(ConfigurationError, match="invalid L1-I geometry"):
+            derived_sets(1.5, 4, context="L1-I")
+
+    def test_bad_size_keeps_context(self):
+        with pytest.raises(ConfigurationError, match="invalid L1-D geometry"):
+            derived_sets(-1, 4, context="L1-D")

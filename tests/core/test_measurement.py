@@ -200,6 +200,69 @@ class TestMissPlanes:
         assert gcc_row["branch_pct"] == pytest.approx(spec.branch_pct, abs=5.0)
 
 
+class TestMissCubeGuards:
+    """Cross-consistency: cube views vs. the retired per-path algorithms.
+
+    The cube subsumed the per-block plane artifacts and the per-axis
+    direct-mapped sweeps; these guards pin its slices to both retired
+    paths bit for bit on the real suite streams.
+    """
+
+    def test_cube_plane_matches_retired_stack_path(self, measurement):
+        from repro.cache.stackdist import stack_distance_hits
+
+        cube = measurement.dcache_miss_cube((4, 8), capacity_words=1024)
+        for block in (4, 8):
+            stream = measurement.dstream_blocks(block)
+            plane = cube.plane(block)
+            expected = stack_distance_hits(
+                stream, list(plane.set_counts), plane.max_ways
+            )
+            assert plane.references == len(stream)
+            for num_sets in plane.set_counts:
+                assert plane.hits[num_sets].tolist() == (
+                    expected[num_sets].tolist()
+                ), (block, num_sets)
+
+    def test_cube_axis_matches_retired_direct_mapped_path(self, measurement):
+        from repro.cache.fastsim import direct_mapped_miss_sweep
+
+        cube = measurement.icache_miss_cube(0, (4,), capacity_words=1024)
+        stream = measurement.istream_blocks(0, 4)
+        sweep = direct_mapped_miss_sweep(stream, cube.set_counts(4))
+        assert cube.axis(4) == sweep
+
+    def test_dstream_blocks_is_shift_view_of_addresses(self, measurement):
+        from repro.cache.fastsim import addresses_to_blocks
+
+        addresses = measurement.dstream_addresses()
+        for block in (4, 16):
+            np.testing.assert_array_equal(
+                measurement.dstream_blocks(block),
+                addresses_to_blocks(addresses, block),
+            )
+
+    def test_cube_is_one_artifact_per_stream_family(self, measurement):
+        # One multi-block cube build must answer every later axis,
+        # plane, sweep, and single-point request without another store
+        # build (the cube index routes single-block requests to it).
+        measurement.dcache_miss_cube((4, 8, 16))
+        before = measurement.store.stats().misses
+        measurement.dcache_miss_axis(8, 256)
+        measurement.dcache_miss_plane(16, 64, 4)
+        measurement.dcache_assoc_sweep(4, (1, 8, 32), (1, 2, 4, 8))
+        measurement.dcache_misses(4, 8)
+        assert measurement.store.stats().misses == before
+
+    def test_single_then_multi_block_views_agree(self, measurement):
+        lone = measurement.dcache_miss_cube((8,))
+        multi = measurement.dcache_miss_cube((4, 8, 16))
+        for num_sets in lone.set_counts(8):
+            for way in (1, 2, 8):
+                assert lone.misses(8, num_sets, way) == multi.misses(
+                    8, num_sets, way
+                )
+
 class TestDiskCache:
     def test_roundtrip(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))

@@ -123,8 +123,8 @@ class TestOptimizer:
         best18 = optimizer.optimize_symmetric(SystemConfig(penalty=18))
         assert best18.config.combined_l1_kw >= best6.config.combined_l1_kw
 
-    def test_assoc_ways_prewarms_the_planes(self, measurement):
-        from repro.core.measurement import MISS_PLANE_VERSION
+    def test_assoc_ways_prewarms_the_cubes(self, measurement):
+        from repro.core.measurement import MISS_CUBE_VERSION
 
         optimizer = DesignOptimizer(measurement, assoc_ways=(1, 2, 4))
         base = SystemConfig(penalty=10)
@@ -132,27 +132,26 @@ class TestOptimizer:
             dataclasses.replace(base, icache_kw=kw, dcache_kw=kw) for kw in (4, 8)
         ]
         optimizer.sweep(configs)
-        # The sweep must have left whole-plane artifacts behind for both
-        # sides, keyed by the axis-extended top set count.
-        top = measurement._axis_top(4, 8192)
+        # The sweep must have left whole-cube artifacts behind for both
+        # sides, keyed by the canonical (paper-grid) capacity and ways.
         assert (
             measurement.store.peek(
-                "dmiss_plane",
-                MISS_PLANE_VERSION,
-                block_words=4,
-                max_sets=top,
-                max_ways=4,
+                "dmiss_cube",
+                MISS_CUBE_VERSION,
+                blocks="4",
+                capacity_words=32 * 1024,
+                max_ways=8,
             )
             is not None
         )
         assert (
             measurement.store.peek(
-                "imiss_plane",
-                MISS_PLANE_VERSION,
+                "imiss_cube",
+                MISS_CUBE_VERSION,
                 slots=base.branch_slots,
-                block_words=4,
-                max_sets=top,
-                max_ways=4,
+                blocks="4",
+                capacity_words=32 * 1024,
+                max_ways=8,
             )
             is not None
         )
