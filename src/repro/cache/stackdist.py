@@ -65,6 +65,7 @@ from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
+from repro import kernels
 from repro.cache.geometry import checked_levels, checked_ways
 from repro.errors import ConfigurationError
 from repro.utils.units import is_power_of_two
@@ -151,6 +152,13 @@ def _rank_counts(rank: np.ndarray) -> np.ndarray:
     n = len(rank)
     if n < 2:
         return np.zeros(n, dtype=np.int64)
+    compiled = kernels.active_rank_kernel()
+    if compiled is not None:
+        # Compiled Fenwick pass (REPRO_KERNEL=numba): exact integer
+        # counts, bit-identical to the merge trees below.
+        out = np.empty(n, dtype=np.int64)
+        tree = np.zeros(n + 1, dtype=np.int64)
+        return compiled(np.ascontiguousarray(rank, dtype=np.int64), out, tree)
     nbits = int(n - 1).bit_length()
     if 3 * nbits > 63:
         return _rank_counts_scatter(rank)

@@ -28,9 +28,14 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.branchpred import BranchTargetBuffer, BTBStats, cti_stream
-from repro.engine.executor import SweepExecutor, synthesize_trace_arrays
+from repro.engine.executor import (
+    SweepExecutor,
+    synthesize_trace_arrays,
+    synthesize_trace_to_cache,
+)
 from repro.engine.session import MeasurementSpec
-from repro.engine.store import ArtifactStore
+from repro.engine.shm import SHARED_BUNDLES
+from repro.engine.store import ArtifactKey, ArtifactStore
 from repro.errors import ConfigurationError
 from repro.obs.tracer import NULL_TRACER
 from repro.sched import (
@@ -50,8 +55,7 @@ from repro.cache.misscube import (
     miss_cube,
 )
 from repro.cache.stackdist import MissPlane
-from repro.trace import execute_program
-from repro.trace.executor import ExecutionTrace
+from repro.trace.executor import ExecutionTrace, TraceExecutor
 from repro.trace.compiled import CompiledProgram
 from repro.trace.multiprogram import (
     address_space_offset,
@@ -93,6 +97,13 @@ _CUBE_MAX_KW = 32
 #: ``max_ways``, and a canonical depth lets direct-mapped lookups and
 #: associativity sweeps share one artifact.
 _CUBE_MAX_WAYS = 8
+
+
+def _as_dtype(array: np.ndarray, dtype) -> np.ndarray:
+    """The array itself when the dtype already matches (keeping memory
+    maps and shared-memory views zero-copy), a converted copy otherwise
+    (legacy bundles written with wider dtypes)."""
+    return array if array.dtype == np.dtype(dtype) else array.astype(dtype)
 
 
 def _trace_arrays_valid(arrays: Mapping[str, np.ndarray]) -> bool:
@@ -233,41 +244,60 @@ class SuiteMeasurement:
     def _trace_params(self, spec: BenchmarkSpec, budget: int) -> Dict[str, object]:
         return dict(bench=spec.name, budget=budget, seed=self.seed)
 
+    def _trace_key(self, spec: BenchmarkSpec, budget: int) -> ArtifactKey:
+        return ArtifactKey.make(
+            "trace", GENERATOR_VERSION, **self._trace_params(spec, budget)
+        )
+
     def _load_or_run_trace(self, spec: BenchmarkSpec, budget: int) -> ExecutionTrace:
         compiled = CompiledProgram(synthesize_program(spec, seed=self.seed))
+        key = self._trace_key(spec, budget)
 
-        def run_trace() -> Dict[str, np.ndarray]:
+        def stream_trace(writer) -> None:
+            # Streaming synthesis: chunks go straight to the writer (the
+            # disk tier's StreamingBundleWriter, normally), so the whole
+            # trace never materializes in this process's heap.
             with self.tracer.span("trace.synthesize", bench=spec.name) as span:
-                trace = execute_program(compiled.program, budget, seed=self.seed)
-                span.count("instructions", int(trace.instruction_count))
-                return {
-                    "block_ids": trace.block_ids,
-                    "went_taken": trace.went_taken,
-                    "restarts": np.array([trace.restarts]),
-                }
+                executor = TraceExecutor(compiled, seed=self.seed)
+                instructions = 0
+                restarts = 0
+                for chunk in executor.iter_chunks(budget):
+                    writer.append("block_ids", chunk.block_ids)
+                    writer.append("went_taken", chunk.went_taken)
+                    instructions += int(compiled.lengths[chunk.block_ids].sum())
+                    restarts = chunk.restarts
+                writer.append("restarts", np.array([restarts]))
+                span.count("instructions", instructions)
 
-        arrays = self.store.get_or_create(
-            "trace",
-            GENERATOR_VERSION,
-            run_trace,
-            persist=True,
-            validate=_trace_arrays_valid,
-            **self._trace_params(spec, budget),
-        )
+        # A bundle already exported to shared memory (by a priming
+        # parent) beats every other tier: forked workers attach the
+        # parent's segments instead of touching the store at all.
+        arrays = SHARED_BUNDLES.lookup(self.spec().digest(), key.digest)
+        if arrays is None or not _trace_arrays_valid(arrays):
+            arrays = self.store.get_or_stream(
+                "trace",
+                GENERATOR_VERSION,
+                stream_trace,
+                validate=_trace_arrays_valid,
+                **self._trace_params(spec, budget),
+            )
         return ExecutionTrace(
             compiled=compiled,
-            block_ids=arrays["block_ids"].astype(np.int32),
-            went_taken=arrays["went_taken"].astype(np.int8),
+            block_ids=_as_dtype(arrays["block_ids"], np.int32),
+            went_taken=_as_dtype(arrays["went_taken"], np.int8),
             restarts=int(arrays["restarts"][0]),
         )
 
     def _prefetch_traces(self) -> None:
         """Fan missing trace synthesis out across the sweep executor.
 
-        Workers return each trace's array bundle; the parent persists
-        them through the store, after which the per-benchmark build below
-        is pure cache hits.  Requires the parallel backend and more than
-        one missing benchmark to be worth a pool.
+        With the disk tier on, workers stream each trace straight into
+        the shared cache directory — only a key digest crosses the
+        process boundary, never the arrays — and the per-benchmark build
+        below turns into memory-mapped disk hits.  With the disk tier
+        off, workers fall back to returning (pickled) bundles that the
+        parent stores in memory.  Requires the parallel backend and more
+        than one missing benchmark to be worth a pool.
         """
         missing = [
             (spec, budget)
@@ -285,6 +315,22 @@ class SuiteMeasurement:
             return
         with self.tracer.span("session.prefetch_traces") as span:
             span.count("missing", len(missing))
+            if self.store.use_disk:
+                cache_dir = self.store.cache_dir
+                self.executor.map(
+                    synthesize_trace_to_cache,
+                    [
+                        (
+                            self._trace_key(spec, budget).digest,
+                            cache_dir,
+                            spec,
+                            budget,
+                            self.seed,
+                        )
+                        for spec, budget in missing
+                    ],
+                )
+                return
             bundles = self.executor.map(
                 synthesize_trace_arrays,
                 [(spec, budget, self.seed) for spec, budget in missing],
@@ -297,6 +343,43 @@ class SuiteMeasurement:
                 persist=self._use_disk_cache,
                 **self._trace_params(spec, budget),
             )
+
+    def share_trace_buffers(self) -> int:
+        """Export the session's trace arrays to shared memory.
+
+        Called by :meth:`~repro.engine.executor.SweepExecutor.prime` so
+        workers forked afterwards attach the parent's segments (see
+        :mod:`repro.engine.shm`) instead of relying on copy-on-write
+        heap pages or per-task pickles.  Memory-mapped traces are
+        skipped: the disk tier's mapped bundles already share physical
+        pages between processes through the page cache, so re-exporting
+        them would only duplicate memory.  After a (new) export the
+        session's own trace arrays are re-pointed at the shared views,
+        making the parent a reader of the same segments.  Returns the
+        number of newly exported bundles.
+        """
+        group = self.spec().digest()
+        exported = 0
+        for bench, budget in zip(self.benchmarks, self._budgets):
+            trace = bench.trace
+            if isinstance(trace.block_ids, np.memmap):
+                continue
+            key = self._trace_key(bench.spec, budget)
+            if SHARED_BUNDLES.export(
+                group,
+                key.digest,
+                {
+                    "block_ids": trace.block_ids,
+                    "went_taken": trace.went_taken,
+                    "restarts": np.array([trace.restarts]),
+                },
+            ):
+                exported += 1
+            shared = SHARED_BUNDLES.lookup(group, key.digest)
+            if shared is not None:
+                trace.block_ids = shared["block_ids"]
+                trace.went_taken = shared["went_taken"]
+        return exported
 
     @property
     def benchmarks(self) -> List[_Benchmark]:

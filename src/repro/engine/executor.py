@@ -35,6 +35,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.engine.shm import SHARED_BUNDLES
 from repro.errors import ConfigurationError
 from repro.obs.tracer import NULL_TRACER
 
@@ -59,12 +60,16 @@ def retire_inherited(digest: Optional[str] = None) -> None:
     swaps or discards a session, and usable directly by tests.  Workers
     forked earlier keep their copy-on-write snapshot; later forks simply
     fall back to rehydrating from the disk store, which is always
-    correct.
+    correct.  The session's shared-memory trace buffers (exported under
+    its digest, see :mod:`repro.engine.shm`) are retired alongside the
+    live object so neither outlives the other.
     """
     if digest is None:
         _FORK_INHERITED.clear()
+        SHARED_BUNDLES.retire()
     else:
         _FORK_INHERITED.pop(digest, None)
+        SHARED_BUNDLES.retire(digest)
 
 #: Sessions a worker process has rebuilt from their specs, so one worker
 #: rehydrates at most once per distinct session.
@@ -198,7 +203,17 @@ class SweepExecutor:
             return [value for chunk_result in results for value in chunk_result]
 
     def _default_chunk(self, count: int) -> int:
-        return max(1, -(-count // (self.jobs * 4)))  # ceil
+        """About four chunks per worker, clamped to the sweep size.
+
+        The clamp matters for tiny sweeps: a chunk larger than the item
+        count would put the whole sweep into a single dispatch and
+        serialize it onto one worker.  With the clamped value every
+        worker can receive at least one chunk whenever there are at
+        least as many items as workers.
+        """
+        if count <= 0:
+            return 1
+        return max(1, min(count, -(-count // (self.jobs * 4))))  # ceil
 
     # -- fork-time state inheritance -------------------------------------------
 
@@ -218,6 +233,14 @@ class SweepExecutor:
             return
         retire_inherited()
         _FORK_INHERITED[digest] = session
+        # Sessions that can export their trace buffers to shared memory
+        # (see repro.engine.shm) do so now, so workers forked from here
+        # on read the arrays from shared segments instead of relying on
+        # copy-on-write heap pages.  Duck-typed: test stand-ins without
+        # the hook are simply not shareable.
+        share = getattr(session, "share_trace_buffers", None)
+        if callable(share):
+            share()
         self._shutdown_pool()
 
     # -- pool lifecycle --------------------------------------------------------
@@ -240,8 +263,16 @@ class SweepExecutor:
             self._pool = None
 
     def shutdown(self) -> None:
-        """Release worker processes (the executor stays usable)."""
+        """Release worker processes and primed state (stays usable).
+
+        Retiring the fork-inheritance table here matters: the pool is
+        gone, so nothing will ever fork against the primed session again
+        — leaving it pinned would hold the session's trace arrays (and
+        any shared-memory segments exported under its digest) for the
+        life of the process.
+        """
         self._shutdown_pool()
+        retire_inherited()
 
     def __del__(self) -> None:  # pragma: no cover - interpreter teardown
         try:
@@ -311,3 +342,34 @@ def synthesize_trace_arrays(item: Tuple[Any, int, int]) -> Dict[str, np.ndarray]
         "went_taken": trace.went_taken,
         "restarts": np.array([trace.restarts]),
     }
+
+
+def synthesize_trace_to_cache(item: Tuple[str, Any, Any, int, int]) -> str:
+    """Worker task: stream one benchmark's trace into the shared disk cache.
+
+    The chunks go straight from the executor to a
+    :class:`~repro.trace.io.StreamingBundleWriter` under the given cache
+    key, so the worker's peak memory is O(chunk) and nothing but the key
+    digest is pickled back to the parent — which then reads the bundle as
+    a memory-mapped disk hit.
+    """
+    digest, cache_dir, spec, budget, seed = item
+    from repro.trace.executor import TraceExecutor
+    from repro.trace.io import StreamingBundleWriter, default_cache_dir
+    from repro.workload import synthesize_program
+
+    executor = TraceExecutor(synthesize_program(spec, seed=seed), seed=seed)
+    directory = cache_dir if cache_dir is not None else default_cache_dir()
+    writer = StreamingBundleWriter(digest, cache_dir=directory)
+    try:
+        restarts = 0
+        for chunk in executor.iter_chunks(budget):
+            writer.append("block_ids", chunk.block_ids)
+            writer.append("went_taken", chunk.went_taken)
+            restarts = chunk.restarts
+        writer.append("restarts", np.array([restarts]))
+        writer.finalize()
+    except BaseException:
+        writer.abort()
+        raise
+    return digest

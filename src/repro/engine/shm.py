@@ -1,0 +1,272 @@
+"""Refcounted shared-memory bundles for sweep workers.
+
+A primed session's trace arrays are the bulk of its memory.  Before this
+module, forked sweep workers reached them only through the copy-on-write
+heap snapshot behind ``_FORK_INHERITED`` — invisible to spawned workers,
+re-pickled per task when shipped explicitly, and duplicated page by page
+as soon as anything near the arrays was written.  The
+:class:`SharedBundleRegistry` moves the payloads into named
+``multiprocessing.shared_memory`` segments instead:
+
+* the parent *exports* a bundle (a name -> ndarray mapping) once, under a
+  ``(group, key)`` address — group is the session digest, key the
+  bundle's artifact identity;
+* any process that can see the registry metadata (forked workers inherit
+  it; the owner itself on later lookups) *attaches* the segments and
+  gets zero-copy read-only ndarray views;
+* groups are refcounted: :meth:`SharedBundleRegistry.release` drops a
+  group when its last holder lets go, and only the exporting process
+  (checked by pid) unlinks the segments from the OS, so a forked worker
+  retiring its copy can never destroy the parent's buffers.
+
+The registry's metadata is deliberately tiny (segment names, dtypes,
+shapes) — that is what forked children inherit; the arrays themselves
+live in the shared segments and are never pickled.  Spawned workers see
+an empty registry and fall back to the disk store, which is always
+correct.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SharedBundleRegistry", "SHARED_BUNDLES"]
+
+
+@dataclass(frozen=True)
+class _SegmentMeta:
+    """Everything needed to reattach one array: name, dtype, shape."""
+
+    shm_name: str
+    dtype: str
+    shape: Tuple[int, ...]
+
+
+@dataclass
+class _Group:
+    """One refcounted family of bundles (typically: one session)."""
+
+    owner_pid: int
+    refs: int = 1
+    bundles: Dict[str, Dict[str, _SegmentMeta]] = field(default_factory=dict)
+    nbytes: int = 0
+
+
+def _unregister_tracker(raw_name: str) -> None:
+    """Drop this process's resource-tracker claim on a segment.
+
+    On POSIX, *attaching* registers the segment with the shared resource
+    tracker a second time (bpo-39959); left in place, an attaching
+    process's claim can unlink a segment the owner still needs.  The
+    owner's own create-time registration (released by ``unlink()``) is
+    the only claim that should exist.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(raw_name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+
+
+class SharedBundleRegistry:
+    """Named shared-memory array bundles with per-group refcounts.
+
+    All methods are process-local: the metadata dict is an ordinary
+    Python object that forked children inherit (like ``_FORK_INHERITED``)
+    while the array payloads live in OS-named shared segments.  There is
+    no cross-process coordination beyond the pid-guarded unlink — the
+    fork model guarantees children start with a consistent snapshot, and
+    children never export.
+    """
+
+    def __init__(self) -> None:
+        self._groups: Dict[str, _Group] = {}
+        #: Per-process live SharedMemory handles keyed by segment name.
+        #: Keeps attached segments mapped; forked children inherit the
+        #: parent's handles and reuse them without re-attaching.
+        self._handles: Dict[str, shared_memory.SharedMemory] = {}
+
+    # -- introspection ---------------------------------------------------------
+
+    def __contains__(self, group: str) -> bool:
+        return group in self._groups
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def groups(self) -> Tuple[str, ...]:
+        return tuple(self._groups)
+
+    def refs(self, group: str) -> int:
+        entry = self._groups.get(group)
+        return entry.refs if entry is not None else 0
+
+    def nbytes(self, group: str) -> int:
+        """Total payload bytes exported under a group (0 if unknown)."""
+        entry = self._groups.get(group)
+        return entry.nbytes if entry is not None else 0
+
+    # -- export / lookup -------------------------------------------------------
+
+    def export(
+        self, group: str, key: str, arrays: Mapping[str, np.ndarray]
+    ) -> bool:
+        """Copy a bundle into shared memory under ``(group, key)``.
+
+        Returns True when newly exported, False when the key is already
+        present (the existing segments are kept — bundle contents are
+        immutable once published).  Creating the group sets its refcount
+        to 1; the exporter is the implicit first holder.
+        """
+        entry = self._groups.get(group)
+        created_group = entry is None
+        if created_group:
+            entry = _Group(owner_pid=os.getpid())
+        elif key in entry.bundles:
+            return False
+        segments: Dict[str, _SegmentMeta] = {}
+        exported = 0
+        try:
+            for name, array in arrays.items():
+                data = np.ascontiguousarray(array)
+                # Zero-size segments are invalid on most platforms; a
+                # one-byte segment still round-trips an empty array.
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(1, data.nbytes)
+                )
+                if data.nbytes:
+                    np.ndarray(
+                        data.shape, dtype=data.dtype, buffer=shm.buf
+                    )[...] = data
+                self._handles[shm.name] = shm
+                segments[name] = _SegmentMeta(
+                    shm_name=shm.name,
+                    dtype=data.dtype.str,
+                    shape=tuple(data.shape),
+                )
+                exported += data.nbytes
+        except BaseException:
+            for meta in segments.values():
+                self._destroy_segment(meta.shm_name, owner=True)
+            raise
+        entry.bundles[key] = segments
+        entry.nbytes += exported
+        if created_group:
+            self._groups[group] = entry
+        return True
+
+    def lookup(
+        self, group: str, key: str
+    ) -> Optional[Dict[str, np.ndarray]]:
+        """Zero-copy read-only views of a bundle, or None on a miss.
+
+        A miss is normal (unknown group/key, spawned worker, or segments
+        already unlinked by the owner) — callers fall back to the disk
+        store.
+        """
+        entry = self._groups.get(group)
+        if entry is None:
+            return None
+        segments = entry.bundles.get(key)
+        if segments is None:
+            return None
+        out: Dict[str, np.ndarray] = {}
+        for name, meta in segments.items():
+            shm = self._handles.get(meta.shm_name)
+            if shm is None:
+                try:
+                    shm = shared_memory.SharedMemory(name=meta.shm_name)
+                except FileNotFoundError:
+                    return None
+                _unregister_tracker(getattr(shm, "_name", meta.shm_name))
+                self._handles[meta.shm_name] = shm
+            view = np.ndarray(
+                meta.shape, dtype=np.dtype(meta.dtype), buffer=shm.buf
+            )
+            view.flags.writeable = False
+            out[name] = view
+        return out
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def retain(self, group: str) -> bool:
+        """Add a holder to a group; False if the group is unknown."""
+        entry = self._groups.get(group)
+        if entry is None:
+            return False
+        entry.refs += 1
+        return True
+
+    def release(self, group: str) -> bool:
+        """Drop one holder; True when this released the whole group."""
+        entry = self._groups.get(group)
+        if entry is None:
+            return False
+        entry.refs -= 1
+        if entry.refs > 0:
+            return False
+        self._drop(group)
+        return True
+
+    def retire(self, group: Optional[str] = None) -> None:
+        """Unconditionally drop one group, or all of them.
+
+        The refcount override for session teardown — mirrors
+        :func:`repro.engine.executor.retire_inherited` semantics.
+        Unknown groups are a no-op.
+        """
+        targets = [group] if group is not None else list(self._groups)
+        for target in targets:
+            if target in self._groups:
+                self._drop(target)
+
+    def retire_owned(self) -> None:
+        """Drop every group this process exported (atexit safety net)."""
+        pid = os.getpid()
+        for group, entry in list(self._groups.items()):
+            if entry.owner_pid == pid:
+                self._drop(group)
+
+    def _drop(self, group: str) -> None:
+        entry = self._groups.pop(group)
+        owner = entry.owner_pid == os.getpid()
+        for segments in entry.bundles.values():
+            for meta in segments.values():
+                self._destroy_segment(meta.shm_name, owner=owner)
+
+    def _destroy_segment(self, shm_name: str, owner: bool) -> None:
+        shm = self._handles.pop(shm_name, None)
+        if shm is not None:
+            try:
+                shm.close()
+            except BufferError:
+                # Live ndarray views still reference the mapping; it is
+                # released when they die.  The unlink below still removes
+                # the name, so the memory itself is not leaked.
+                pass
+        if owner:
+            if shm is None:  # pragma: no cover - owner always holds it
+                try:
+                    shm = shared_memory.SharedMemory(name=shm_name)
+                except FileNotFoundError:
+                    return
+                _unregister_tracker(getattr(shm, "_name", shm_name))
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+#: The registry sweep sessions share (one per process; forked children
+#: inherit the parent's view).  Owned groups are retired at interpreter
+#: exit so named segments never outlive the process that exported them.
+SHARED_BUNDLES = SharedBundleRegistry()
+
+atexit.register(SHARED_BUNDLES.retire_owned)

@@ -10,11 +10,18 @@ store keeps artifacts in two tiers:
 * an in-memory LRU tier holding any Python object, bounded by entry
   count, which replaces the per-object memo dicts the measurement layer
   used to hand-roll;
-* an optional on-disk tier (``.npz`` bundles via :mod:`repro.trace.io`)
-  for artifacts declared *persistent* — array bundles whose recomputation
-  is expensive enough to survive process boundaries (traces).  The disk
-  tier is what lets parallel sweep workers rehydrate a session without
-  re-synthesizing it.
+* an optional on-disk tier (raw ``.npy`` segment bundles via
+  :mod:`repro.trace.io`, with legacy ``.npz`` read compatibility) for
+  artifacts declared *persistent* — array bundles whose recomputation is
+  expensive enough to survive process boundaries (traces).  Disk hits
+  come back as read-only memory maps, so loading a cached trace is
+  zero-copy and many processes mapping the same bundle share one set of
+  physical pages.  The disk tier is what lets parallel sweep workers
+  rehydrate a session without re-synthesizing it.
+
+Persistent artifacts whose *production* would not fit in memory go
+through :meth:`ArtifactStore.get_or_stream`, which hands the factory a
+chunk-appending writer instead of collecting a whole bundle.
 
 The store is purely an optimization: clearing either tier only costs
 recomputation time, never changes a result.  Hit/miss/eviction counters
@@ -32,7 +39,15 @@ from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.trace.io import cache_key, delete_entry, load_arrays, save_arrays
+from repro.trace.io import (
+    MemoryBundleWriter,
+    StreamingBundleWriter,
+    cache_key,
+    default_cache_dir,
+    delete_entry,
+    load_arrays,
+    save_arrays,
+)
 
 __all__ = ["ArtifactKey", "ArtifactStore", "StoreStats"]
 
@@ -186,6 +201,72 @@ class ArtifactStore:
             )
         self._insert(key, value, persist=persist)
         return value
+
+    def get_or_stream(
+        self,
+        kind: str,
+        version: int,
+        producer: Callable[[Any], None],
+        *,
+        validate: Optional[Callable[[Any], bool]] = None,
+        **params: Any,
+    ) -> Mapping[str, np.ndarray]:
+        """Streaming variant of :meth:`get_or_create` for persistent bundles.
+
+        On a miss, ``producer(writer)`` is called with a writer exposing
+        ``append(name, chunk)``; the producer emits the bundle in chunks
+        and never holds more than one chunk at a time.  With the disk
+        tier on, chunks stream straight to a
+        :class:`~repro.trace.io.StreamingBundleWriter` (peak memory is
+        O(chunk)) and the value returned — and remembered in the memory
+        tier — is the *memory-mapped* view of the finished bundle, so
+        the fully materialized arrays never exist in this process's heap
+        at all.  With the disk tier off, chunks are concatenated in
+        memory instead; the producer code is identical either way.
+
+        Streamed artifacts are always persistent by intent; hits follow
+        the same memory → disk order as :meth:`get_or_create`.
+        """
+        key = ArtifactKey.make(kind, version, **params)
+        value = self._memory_get(key, count=True)
+        if value is not _ABSENT:
+            return value
+        if self.use_disk:
+            arrays = self._disk_get(key, validate)
+            if arrays is not None:
+                with self._lock:
+                    self._stats.disk_hits += 1
+                self._remember(key, arrays)
+                return arrays
+        with self._lock:
+            self._stats.misses += 1
+        if self.use_disk:
+            directory = self.cache_dir or default_cache_dir()
+            writer = StreamingBundleWriter(key.digest, cache_dir=directory)
+            try:
+                producer(writer)
+                writer.finalize()
+            except BaseException:
+                writer.abort()
+                raise
+            with self._lock:
+                self._stats.disk_writes += 1
+            arrays = load_arrays(key.digest, cache_dir=directory)
+            if arrays is None:  # pragma: no cover - needs a racing deleter
+                raise ConfigurationError(
+                    f"streamed artifact {key} vanished before it could be "
+                    f"mapped back"
+                )
+        else:
+            memory_writer = MemoryBundleWriter()
+            producer(memory_writer)
+            arrays = memory_writer.bundle()
+        if validate is not None and not validate(arrays):
+            raise ConfigurationError(
+                f"producer for artifact {key} streamed an invalid bundle"
+            )
+        self._remember(key, arrays)
+        return arrays
 
     def put(
         self,

@@ -46,6 +46,9 @@ class CompiledProgram:
         biases: taken probability for conditional terminators.
         indirect_ids: candidate target ids for computed gotos / indirect
             calls (empty list otherwise).
+        indirect_offsets / indirect_flat: the same candidates in CSR form
+            (offsets int64, flat int32) for flat-array consumers such as
+            the compiled trace kernel.
         load_counts / store_counts / cti_counts / syscall_counts: static
             per-block instruction category counts.
     """
@@ -98,6 +101,28 @@ class CompiledProgram:
                 )
 
         self.entry_id = self.index[program.entry]
+
+        # CSR form of indirect_ids for flat-array consumers (the compiled
+        # trace kernel): block i's candidates are
+        # indirect_flat[indirect_offsets[i]:indirect_offsets[i + 1]].
+        counts = np.fromiter(
+            (len(t) for t in self.indirect_ids), dtype=np.int64, count=n
+        )
+        self.indirect_offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.indirect_offsets[1:])
+        self.indirect_flat = np.fromiter(
+            (t for targets in self.indirect_ids for t in targets),
+            dtype=np.int32,
+            count=int(self.indirect_offsets[-1]),
+        )
+
+        # Walk memoization, filled lazily by TraceExecutor: superblock
+        # chains and per-outcome decision edges are pure functions of the
+        # compiled arrays, so every executor over this program (whatever
+        # its seed) shares one cache instead of rebuilding it.
+        self.chain_cache: Dict[int, object] = {}
+        self.cond_edge_cache: Dict[int, tuple] = {}
+        self.indirect_edge_cache: Dict[int, list] = {}
 
     @staticmethod
     def _classify(block) -> BlockKind:

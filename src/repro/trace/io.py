@@ -2,9 +2,28 @@
 
 Generating the full multiprogrammed traces takes tens of seconds; the
 benchmark harness regenerates many tables from the same traces, so traces
-are cached as ``.npz`` bundles keyed by a content hash of the generating
-parameters.  The cache is purely an optimization: deleting it only costs
-regeneration time, never changes a result.
+are cached on disk keyed by a content hash of the generating parameters.
+The cache is purely an optimization: deleting it only costs regeneration
+time, never changes a result.
+
+Two layouts coexist:
+
+* ``npy`` (the default since PR 7) — a ``{key}.npy.d/`` directory holding
+  one raw ``.npy`` segment per array plus a ``manifest.json``.  Raw
+  segments are openable with ``np.load(mmap_mode="r")``, so loads are
+  zero-copy views of the page cache: many processes mapping the same
+  trace share one set of physical pages, and nothing is decompressed.
+  :class:`StreamingBundleWriter` appends fixed-size chunks to the
+  segments as they are produced, so writing a trace needs O(chunk)
+  memory, not O(trace).
+* ``npz`` (the pre-PR 7 format) — a single compressed ``{key}.npz``
+  bundle.  Still written on request (``layout="npz"``) and always
+  readable, so existing caches keep working.
+
+Both layouts are written atomically (temp file/directory + rename) with
+the temporary pinned *inside the cache directory*: a rename within one
+directory can never cross filesystems, so ``os.replace`` can never fail
+with ``EXDEV`` even when the cache lives on its own mount.
 """
 
 from __future__ import annotations
@@ -13,10 +32,12 @@ import hashlib
 import json
 import math
 import os
+import shutil
+import struct
 import tempfile
 import zipfile
 from pathlib import Path
-from typing import Dict, Mapping, Optional, Union
+from typing import Dict, List, Mapping, Optional, Union
 
 import numpy as np
 
@@ -25,19 +46,45 @@ from repro.errors import TraceError
 __all__ = [
     "cache_key",
     "entry_path",
+    "bundle_dir",
     "save_arrays",
     "load_arrays",
     "delete_entry",
     "default_cache_dir",
+    "StreamingBundleWriter",
+    "MemoryBundleWriter",
 ]
+
+LAYOUTS = ("npy", "npz")
+
+#: Reserved byte length of every segment's ``.npy`` header.  The header
+#: is written once with a placeholder shape and rewritten in place at
+#: finalize time; a fixed length keeps the rewrite a pure overwrite.
+_NPY_HEADER_LEN = 128
+
+_MANIFEST_NAME = "manifest.json"
+_MANIFEST_VERSION = 1
 
 
 def default_cache_dir() -> Path:
-    """The trace cache directory (override with ``REPRO_CACHE_DIR``)."""
+    """The trace cache directory (override with ``REPRO_CACHE_DIR``).
+
+    Resolution order: ``REPRO_CACHE_DIR``, then ``XDG_CACHE_HOME`` (the
+    per-user cache root on conforming systems), then a per-user directory
+    under the system temp dir.  The tmp fallback embeds the uid because
+    the system temp dir is shared between users on multi-user hosts: a
+    single shared ``repro-trace-cache`` would collide (and the second
+    user's writes would fail on the first user's file permissions).
+    """
     env = os.environ.get("REPRO_CACHE_DIR")
     if env:
         return Path(env)
-    return Path(tempfile.gettempdir()) / "repro-trace-cache"
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    if xdg:
+        return Path(xdg) / "repro-trace-cache"
+    getuid = getattr(os, "getuid", None)  # not available on Windows
+    suffix = f"-{getuid()}" if getuid is not None else ""
+    return Path(tempfile.gettempdir()) / f"repro-trace-cache{suffix}"
 
 
 def cache_key(**params: Union[str, int, float, bool, None]) -> str:
@@ -66,30 +113,243 @@ def cache_key(**params: Union[str, int, float, bool, None]) -> str:
 
 
 def entry_path(key: str, cache_dir: Optional[Path] = None) -> Path:
-    """The on-disk path a key maps to (the file may or may not exist)."""
+    """The legacy ``.npz`` path a key maps to (may or may not exist)."""
     return (cache_dir or default_cache_dir()) / f"{key}.npz"
 
 
+def bundle_dir(key: str, cache_dir: Optional[Path] = None) -> Path:
+    """The ``.npy``-segment directory a key maps to (may or may not exist)."""
+    return (cache_dir or default_cache_dir()) / f"{key}.npy.d"
+
+
 def delete_entry(key: str, cache_dir: Optional[Path] = None) -> bool:
-    """Remove one cached entry; returns True if something was deleted."""
+    """Remove one cached entry (both layouts); True if something was deleted."""
+    deleted = False
+    directory = bundle_dir(key, cache_dir)
+    if directory.is_dir():
+        shutil.rmtree(directory, ignore_errors=True)
+        deleted = not directory.exists()
     path = entry_path(key, cache_dir)
     try:
         path.unlink()
-        return True
+        deleted = True
     except OSError:
-        return False
+        pass
+    return deleted
+
+
+# -- raw .npy segment helpers -------------------------------------------------
+
+
+def _npy_header(dtype: np.dtype, shape: tuple) -> bytes:
+    """A version-1 ``.npy`` header padded to :data:`_NPY_HEADER_LEN` bytes.
+
+    Hand-built rather than via :mod:`numpy.lib.format` so the byte length
+    is *fixed*: the streaming writer reserves the header up front (shape
+    unknown) and rewrites it in place once the final length is known.
+    """
+    descr = np.lib.format.dtype_to_descr(dtype)
+    body = "{'descr': %r, 'fortran_order': False, 'shape': %r, }" % (
+        descr,
+        tuple(int(d) for d in shape),
+    )
+    prefix_len = 6 + 2 + 2  # magic + version + header-length field
+    space = _NPY_HEADER_LEN - prefix_len - 1  # trailing newline
+    if len(body) > space:  # pragma: no cover - needs a pathological dtype
+        raise TraceError(f"npy header too large for reserved space: {body!r}")
+    header = body.ljust(space) + "\n"
+    return b"\x93NUMPY" + bytes((1, 0)) + struct.pack("<H", len(header)) + header.encode(
+        "latin1"
+    )
+
+
+def _check_segment_name(name: str) -> str:
+    if (
+        not name
+        or name != os.path.basename(name)
+        or name.startswith(".")
+        or "/" in name
+        or "\\" in name
+    ):
+        raise TraceError(f"array name {name!r} is not a safe segment filename")
+    return name
+
+
+class _Segment:
+    """One array's open ``.npy`` file inside a streaming bundle."""
+
+    __slots__ = ("name", "path", "handle", "dtype", "length")
+
+    def __init__(self, name: str, path: Path, dtype: np.dtype) -> None:
+        self.name = name
+        self.path = path
+        self.dtype = dtype
+        self.length = 0
+        self.handle = open(path, "wb")
+        self.handle.write(_npy_header(dtype, (0,)))
+
+    def append(self, chunk: np.ndarray) -> None:
+        self.handle.write(np.ascontiguousarray(chunk).tobytes())
+        self.length += len(chunk)
+
+    def finalize(self) -> None:
+        self.handle.flush()
+        self.handle.seek(0)
+        self.handle.write(_npy_header(self.dtype, (self.length,)))
+        self.handle.flush()
+        os.fsync(self.handle.fileno())
+        self.handle.close()
+
+    def abort(self) -> None:
+        try:
+            self.handle.close()
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+
+
+class StreamingBundleWriter:
+    """Chunked writer for the ``npy`` bundle layout.
+
+    Chunks appended under one name are concatenated on disk; the bundle
+    appears atomically (temp directory renamed into place) only when
+    :meth:`finalize` runs, so a crashed producer never leaves a partial
+    entry a later load could mistake for a complete one.  Peak memory is
+    one chunk, regardless of total trace length.
+
+    >>> # writer = StreamingBundleWriter(key, cache_dir)
+    >>> # writer.append("block_ids", chunk); ...; writer.finalize()
+    """
+
+    def __init__(self, key: str, cache_dir: Optional[Path] = None) -> None:
+        self.key = key
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        # Temp directory pinned inside the cache directory: the final
+        # os.replace is then a same-filesystem rename by construction.
+        self._tmp = Path(
+            tempfile.mkdtemp(dir=str(self.cache_dir), prefix=f".{key}-tmp-")
+        )
+        self._segments: Dict[str, _Segment] = {}
+        self._order: List[str] = []
+        self._done = False
+
+    def append(self, name: str, chunk: np.ndarray) -> None:
+        """Append one chunk to the named array (creating it on first use)."""
+        if self._done:
+            raise TraceError("bundle writer already finalized")
+        chunk = np.asarray(chunk)
+        if chunk.ndim != 1:
+            raise TraceError(
+                f"streaming bundles hold 1-D arrays; {name!r} chunk has "
+                f"shape {chunk.shape}"
+            )
+        segment = self._segments.get(name)
+        if segment is None:
+            _check_segment_name(name)
+            segment = _Segment(name, self._tmp / f"{name}.npy", chunk.dtype)
+            self._segments[name] = segment
+            self._order.append(name)
+        elif chunk.dtype != segment.dtype:
+            raise TraceError(
+                f"chunk dtype {chunk.dtype} does not match segment "
+                f"{name!r} dtype {segment.dtype}"
+            )
+        segment.append(chunk)
+
+    def finalize(self) -> Path:
+        """Fix headers, write the manifest, and atomically publish."""
+        if self._done:
+            raise TraceError("bundle writer already finalized")
+        if not self._segments:
+            raise TraceError("refusing to finalize an empty bundle")
+        for name in self._order:
+            self._segments[name].finalize()
+        manifest = {
+            "version": _MANIFEST_VERSION,
+            "names": list(self._order),
+        }
+        (self._tmp / _MANIFEST_NAME).write_text(json.dumps(manifest))
+        final = bundle_dir(self.key, self.cache_dir)
+        if final.exists():
+            shutil.rmtree(final, ignore_errors=True)
+        os.replace(self._tmp, final)
+        # A stale npz twin would shadow nothing (the directory is checked
+        # first) but would waste space and confuse deletion accounting.
+        try:
+            entry_path(self.key, self.cache_dir).unlink()
+        except OSError:
+            pass
+        self._done = True
+        return final
+
+    def abort(self) -> None:
+        """Drop everything written so far (idempotent)."""
+        for segment in self._segments.values():
+            segment.abort()
+        self._segments.clear()
+        shutil.rmtree(self._tmp, ignore_errors=True)
+        self._done = True
+
+
+class MemoryBundleWriter:
+    """In-memory stand-in for :class:`StreamingBundleWriter`.
+
+    Used when the disk tier is disabled: chunks are accumulated and
+    concatenated, so the streaming producers work unchanged (peak memory
+    is O(trace) here, but that is exactly what a memory-only cache holds
+    anyway).
+    """
+
+    def __init__(self) -> None:
+        self._chunks: Dict[str, List[np.ndarray]] = {}
+        self._order: List[str] = []
+
+    def append(self, name: str, chunk: np.ndarray) -> None:
+        chunk = np.asarray(chunk)
+        if name not in self._chunks:
+            self._chunks[name] = []
+            self._order.append(name)
+        self._chunks[name].append(chunk)
+
+    def bundle(self) -> Dict[str, np.ndarray]:
+        return {
+            name: (
+                self._chunks[name][0]
+                if len(self._chunks[name]) == 1
+                else np.concatenate(self._chunks[name])
+            )
+            for name in self._order
+        }
 
 
 def save_arrays(
-    key: str, arrays: Mapping[str, np.ndarray], cache_dir: Optional[Path] = None
+    key: str,
+    arrays: Mapping[str, np.ndarray],
+    cache_dir: Optional[Path] = None,
+    layout: str = "npy",
 ) -> Path:
-    """Persist named arrays under ``key``; returns the file path.
+    """Persist named arrays under ``key``; returns the entry path.
 
-    The write is atomic (temp file + rename) so a crashed run never leaves
-    a truncated cache entry behind.
+    The default ``npy`` layout writes one raw segment per array (loadable
+    as zero-copy memory maps); ``layout="npz"`` writes the legacy
+    compressed bundle.  Either way the write is atomic — temp file or
+    directory created *in the cache directory itself* and renamed into
+    place — so a crashed run never leaves a truncated entry behind and
+    the rename can never cross a filesystem boundary (EXDEV).
     """
+    if layout not in LAYOUTS:
+        raise TraceError(f"unknown cache layout {layout!r}; choose from {LAYOUTS}")
     directory = cache_dir or default_cache_dir()
     directory.mkdir(parents=True, exist_ok=True)
+    if layout == "npy":
+        writer = StreamingBundleWriter(key, directory)
+        try:
+            for name, value in arrays.items():
+                writer.append(name, value)
+            return writer.finalize()
+        except BaseException:
+            writer.abort()
+            raise
     path = entry_path(key, directory)
     fd, tmp_name = tempfile.mkstemp(dir=str(directory), suffix=".tmp")
     try:
@@ -100,17 +360,50 @@ def save_arrays(
         if os.path.exists(tmp_name):
             os.unlink(tmp_name)
         raise
+    # A bundle directory left by an earlier npy-layout save would shadow
+    # this entry on load; the fresh write wins in both layouts.
+    stale = bundle_dir(key, directory)
+    if stale.is_dir():
+        shutil.rmtree(stale, ignore_errors=True)
     return path
 
 
+def _load_bundle_dir(
+    directory: Path, mmap: bool
+) -> Optional[Dict[str, np.ndarray]]:
+    """Load one ``npy``-layout entry; None (after cleanup) when corrupt."""
+    try:
+        manifest = json.loads((directory / _MANIFEST_NAME).read_text())
+        names = manifest["names"]
+        if not isinstance(names, list):
+            raise ValueError("manifest names must be a list")
+        mode = "r" if mmap else None
+        return {
+            name: np.load(directory / f"{_check_segment_name(name)}.npy", mmap_mode=mode)
+            for name in names
+        }
+    except (OSError, ValueError, KeyError, TypeError, TraceError):
+        shutil.rmtree(directory, ignore_errors=True)
+        return None
+
+
 def load_arrays(
-    key: str, cache_dir: Optional[Path] = None
+    key: str, cache_dir: Optional[Path] = None, mmap: bool = True
 ) -> Optional[Dict[str, np.ndarray]]:
     """Load the arrays cached under ``key``, or None if absent/corrupt.
 
-    A corrupt entry is treated as a miss (and removed) rather than an
-    error: the cache must never be able to fail an experiment.
+    ``npy``-layout entries are returned as read-only memory maps by
+    default (``mmap=False`` forces eager reads); legacy ``.npz`` entries
+    are always read eagerly (a compressed archive cannot be mapped).  A
+    corrupt entry in either layout is treated as a miss (and removed)
+    rather than an error: the cache must never be able to fail an
+    experiment.
     """
+    directory = bundle_dir(key, cache_dir)
+    if directory.is_dir():
+        arrays = _load_bundle_dir(directory, mmap)
+        if arrays is not None:
+            return arrays
     path = entry_path(key, cache_dir)
     if not path.exists():
         return None

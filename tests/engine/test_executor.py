@@ -162,6 +162,67 @@ class TestPrimeRetirement:
         assert clean_fork_state == {}
 
 
+class TestShutdownRetirement:
+    def test_shutdown_retires_primed_session(self, clean_fork_state):
+        # Regression: shutdown() released the pool but left the primed
+        # session pinned in _FORK_INHERITED forever — with no pool left
+        # to fork from, the pinned arrays were a pure leak.
+        executor = SweepExecutor(jobs=2)
+        executor.prime("digest-a", object())
+        executor.shutdown()
+        assert clean_fork_state == {}
+
+    def test_shutdown_retires_shared_memory_group(self, clean_fork_state):
+        from repro.engine.shm import SHARED_BUNDLES
+
+        executor = SweepExecutor(jobs=2)
+        executor.prime("digest-a", object())
+        SHARED_BUNDLES.export("digest-a", "trace:x", {"x": np.arange(8)})
+        try:
+            executor.shutdown()
+            assert "digest-a" not in SHARED_BUNDLES
+        finally:
+            SHARED_BUNDLES.retire("digest-a")
+
+    def test_prime_invokes_share_trace_buffers(self, clean_fork_state):
+        class _Session:
+            shared = 0
+
+            def share_trace_buffers(self):
+                self.shared += 1
+
+        session = _Session()
+        executor = SweepExecutor(jobs=2)
+        executor.prime("digest-a", session)
+        assert session.shared == 1
+        executor.prime("digest-a", session)  # reprime no-op: no re-export
+        assert session.shared == 1
+        executor.shutdown()
+
+
+class TestDefaultChunk:
+    def test_chunk_never_exceeds_item_count(self):
+        for jobs in (1, 2, 4, 8):
+            executor = SweepExecutor(jobs=jobs, backend="process")
+            for count in range(1, 65):
+                assert 1 <= executor._default_chunk(count) <= count
+
+    def test_every_worker_can_get_a_chunk(self):
+        # Distribution property: tiny sweeps must still fan out — the
+        # chunking yields at least min(count, jobs) chunks, so no single
+        # worker serializes the whole sweep.
+        for jobs in (1, 2, 3, 4, 8, 16):
+            executor = SweepExecutor(jobs=jobs, backend="process")
+            for count in range(1, 129):
+                chunk = executor._default_chunk(count)
+                n_chunks = -(-count // chunk)
+                assert n_chunks >= min(count, jobs), (count, jobs, chunk)
+
+    def test_degenerate_count_is_safe(self):
+        executor = SweepExecutor(jobs=4, backend="process")
+        assert executor._default_chunk(0) == 1
+
+
 class TestBrokenPoolRecovery:
     def test_persistent_crash_raises_configuration_error(self):
         # A worker that always dies must surface a clean library error,

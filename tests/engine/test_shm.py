@@ -1,0 +1,158 @@
+"""SharedBundleRegistry tests: export/attach, refcounts, pid-guarded unlink."""
+
+import os
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.engine.shm import SharedBundleRegistry
+
+
+@pytest.fixture
+def registry():
+    reg = SharedBundleRegistry()
+    yield reg
+    reg.retire()  # never leak named segments past a test
+
+
+def _bundle():
+    return {
+        "block_ids": np.arange(1000, dtype=np.int32),
+        "went_taken": (np.arange(1000) % 3 == 0).astype(np.int8),
+        "restarts": np.array([7]),
+    }
+
+
+def _segment_names(registry, group):
+    return [
+        meta.shm_name
+        for segments in registry._groups[group].bundles.values()
+        for meta in segments.values()
+    ]
+
+
+class TestExportLookup:
+    def test_roundtrip(self, registry):
+        source = _bundle()
+        assert registry.export("sess", "trace:foo", source)
+        loaded = registry.lookup("sess", "trace:foo")
+        assert set(loaded) == set(source)
+        for name in source:
+            assert np.array_equal(loaded[name], source[name])
+            assert loaded[name].dtype == source[name].dtype
+
+    def test_views_are_shared_and_read_only(self, registry):
+        registry.export("sess", "k", _bundle())
+        first = registry.lookup("sess", "k")
+        second = registry.lookup("sess", "k")
+        # Both lookups map the same segment: zero-copy, not re-pickled.
+        assert np.shares_memory(first["block_ids"], second["block_ids"])
+        with pytest.raises(ValueError):
+            first["block_ids"][0] = 99
+
+    def test_miss_is_none(self, registry):
+        assert registry.lookup("nope", "k") is None
+        registry.export("sess", "k", _bundle())
+        assert registry.lookup("sess", "other-key") is None
+
+    def test_duplicate_key_is_kept_not_replaced(self, registry):
+        original = {"a": np.arange(5)}
+        assert registry.export("sess", "k", original)
+        assert not registry.export("sess", "k", {"a": np.zeros(5, int)})
+        assert np.array_equal(registry.lookup("sess", "k")["a"], original["a"])
+
+    def test_empty_array_roundtrips(self, registry):
+        registry.export("sess", "k", {"empty": np.array([], dtype=np.int64)})
+        loaded = registry.lookup("sess", "k")
+        assert loaded["empty"].shape == (0,)
+        assert loaded["empty"].dtype == np.int64
+
+    def test_multiple_bundles_per_group(self, registry):
+        registry.export("sess", "trace:a", {"x": np.arange(4)})
+        registry.export("sess", "trace:b", {"x": np.arange(8)})
+        assert len(registry.lookup("sess", "trace:a")["x"]) == 4
+        assert len(registry.lookup("sess", "trace:b")["x"]) == 8
+        assert registry.nbytes("sess") == (4 + 8) * np.arange(1).itemsize
+
+
+class TestRefcounting:
+    def test_release_drops_at_zero(self, registry):
+        registry.export("sess", "k", _bundle())
+        assert registry.refs("sess") == 1
+        assert registry.retain("sess")
+        assert registry.refs("sess") == 2
+        assert not registry.release("sess")  # still one holder
+        assert registry.lookup("sess", "k") is not None
+        assert registry.release("sess")  # last holder: gone
+        assert "sess" not in registry
+        assert registry.lookup("sess", "k") is None
+
+    def test_release_unlinks_segments(self, registry):
+        registry.export("sess", "k", {"x": np.arange(16)})
+        names = _segment_names(registry, "sess")
+        registry.release("sess")
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_retain_release_on_unknown_group(self, registry):
+        assert not registry.retain("ghost")
+        assert not registry.release("ghost")
+
+    def test_retire_overrides_refcount(self, registry):
+        registry.export("sess", "k", _bundle())
+        registry.retain("sess")
+        registry.retain("sess")
+        registry.retire("sess")
+        assert "sess" not in registry
+        registry.retire("sess")  # unknown now: no-op
+
+    def test_retire_all(self, registry):
+        registry.export("a", "k", {"x": np.arange(3)})
+        registry.export("b", "k", {"x": np.arange(3)})
+        registry.retire()
+        assert len(registry) == 0
+
+
+class TestOwnership:
+    def test_non_owner_drop_never_unlinks(self, registry):
+        # Simulate a forked worker retiring its inherited copy: the
+        # group vanishes from the worker's registry, but the parent's
+        # segments must survive.
+        registry.export("sess", "k", {"x": np.arange(32)})
+        names = _segment_names(registry, "sess")
+        registry._groups["sess"].owner_pid = os.getpid() + 1
+        registry.retire("sess")
+        assert "sess" not in registry
+        for name in names:
+            shm = shared_memory.SharedMemory(name=name)  # still alive
+            shm.close()
+            shm.unlink()  # manual cleanup for the test
+
+    def test_retire_owned_only_touches_own_groups(self, registry):
+        registry.export("mine", "k", {"x": np.arange(4)})
+        registry.export("theirs", "k", {"x": np.arange(4)})
+        registry._groups["theirs"].owner_pid = os.getpid() + 1
+        names = _segment_names(registry, "theirs")
+        registry.retire_owned()
+        assert "mine" not in registry
+        assert "theirs" in registry  # not ours to drop
+        for name in names:  # and the foreign segments still exist
+            shm = shared_memory.SharedMemory(name=name)
+            shm.close()
+        registry._groups["theirs"].owner_pid = os.getpid()  # let teardown unlink
+
+
+class TestRetireOwnedAtexit:
+    def test_retire_owned_is_registered_for_default_registry(self):
+        import atexit
+
+        # The default registry must clean up after itself at interpreter
+        # exit; atexit does not expose its queue, so re-registering and
+        # calling through is the observable contract.
+        from repro.engine import shm as shm_module
+
+        assert callable(shm_module.SHARED_BUNDLES.retire_owned)
+        atexit.unregister(shm_module.SHARED_BUNDLES.retire_owned)
+        atexit.register(shm_module.SHARED_BUNDLES.retire_owned)

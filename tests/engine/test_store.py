@@ -104,6 +104,11 @@ class TestMemoryTier:
         assert store.get_or_create("thing", 1, lambda: "fresh", n=1) == "fresh"
 
 
+def _disk_entries(tmp_path):
+    """Cache entries on disk, in either layout (npy bundle dir or npz)."""
+    return sorted(tmp_path.glob("*.npz")) + sorted(tmp_path.glob("*.npy.d"))
+
+
 class TestDiskTier:
     def _arrays(self, n=10):
         return {"x": np.arange(n), "y": np.ones(3)}
@@ -121,8 +126,8 @@ class TestDiskTier:
     def test_corrupt_entry_falls_back_to_factory(self, tmp_path):
         store = ArtifactStore(cache_dir=tmp_path)
         store.get_or_create("trace", 1, self._arrays, persist=True, n=1)
-        for path in tmp_path.glob("*.npz"):
-            path.write_bytes(b"definitely not an npz")
+        for path in tmp_path.glob("*.npy.d/manifest.json"):
+            path.write_text("definitely not a manifest")
         fresh = ArtifactStore(cache_dir=tmp_path)
         value = fresh.get_or_create("trace", 1, self._arrays, persist=True, n=1)
         assert np.array_equal(value["x"], self._arrays()["x"])
@@ -152,12 +157,12 @@ class TestDiskTier:
         # first time validation rejects it.
         store = ArtifactStore(cache_dir=tmp_path)
         store.put("trace", 1, {"x": np.array([])}, persist=True, n=1)
-        assert list(tmp_path.glob("*.npz"))
+        assert _disk_entries(tmp_path)
 
         validate = lambda a: len(a.get("x", ())) > 0  # noqa: E731
         fresh = ArtifactStore(cache_dir=tmp_path)
         assert fresh.peek("trace", 1, persist=True, validate=validate, n=1) is None
-        assert not list(tmp_path.glob("*.npz")), "invalid entry must be deleted"
+        assert not _disk_entries(tmp_path), "invalid entry must be deleted"
         assert fresh.stats().invalidations == 1
 
     def test_validation_failure_counts_one_miss_then_recreates(self, tmp_path):
@@ -221,7 +226,7 @@ class TestDiskTier:
         store.get_or_create("trace", 1, self._arrays, persist=True, n=1)
         store.invalidate("trace", 1, n=1)
         assert store.peek("trace", 1, n=1) is None
-        assert not list(tmp_path.glob("*.npz"))
+        assert not _disk_entries(tmp_path)
 
     def test_factory_output_failing_validate_is_an_error(self, tmp_path):
         store = ArtifactStore(cache_dir=tmp_path)
@@ -232,5 +237,81 @@ class TestDiskTier:
                 lambda: {"x": np.array([])},
                 persist=True,
                 validate=lambda a: len(a["x"]) > 0,
+                n=1,
+            )
+
+
+class TestGetOrStream:
+    @staticmethod
+    def _producer(writer):
+        for start in range(0, 100, 7):  # non-divisor chunk size
+            writer.append("ids", np.arange(start, min(start + 7, 100)))
+
+    def test_streams_to_disk_and_returns_mmap(self, tmp_path):
+        store = ArtifactStore(cache_dir=tmp_path)
+        arrays = store.get_or_stream("trace", 1, self._producer, n=1)
+        assert isinstance(arrays["ids"], np.memmap)
+        assert np.array_equal(arrays["ids"], np.arange(100))
+        assert store.stats().misses == 1
+        assert store.stats().disk_writes == 1
+
+    def test_memory_then_disk_hits(self, tmp_path):
+        store = ArtifactStore(cache_dir=tmp_path)
+        first = store.get_or_stream("trace", 1, self._producer, n=1)
+        second = store.get_or_stream(
+            "trace", 1, lambda w: pytest.fail("producer must not run"), n=1
+        )
+        assert first is second
+        assert store.stats().memory_hits == 1
+        fresh = ArtifactStore(cache_dir=tmp_path)
+        rehydrated = fresh.get_or_stream(
+            "trace", 1, lambda w: pytest.fail("producer must not run"), n=1
+        )
+        assert np.array_equal(rehydrated["ids"], np.arange(100))
+        assert fresh.stats().disk_hits == 1
+
+    def test_memory_only_store_concatenates(self, tmp_path):
+        store = ArtifactStore(cache_dir=tmp_path, use_disk=False)
+        arrays = store.get_or_stream("trace", 1, self._producer, n=1)
+        assert not isinstance(arrays["ids"], np.memmap)
+        assert np.array_equal(arrays["ids"], np.arange(100))
+        assert not list(tmp_path.iterdir())
+        again = store.get_or_stream(
+            "trace", 1, lambda w: pytest.fail("producer must not run"), n=1
+        )
+        assert again is arrays
+
+    def test_streamed_equals_one_shot_bundle(self, tmp_path):
+        streamed = ArtifactStore(cache_dir=tmp_path / "a").get_or_stream(
+            "trace", 1, self._producer, n=1
+        )
+        eager = ArtifactStore(cache_dir=tmp_path / "b").get_or_create(
+            "trace", 1, lambda: {"ids": np.arange(100)}, persist=True, n=1
+        )
+        assert np.array_equal(streamed["ids"], eager["ids"])
+        assert streamed["ids"].dtype == eager["ids"].dtype
+
+    def test_failing_producer_leaves_no_entry(self, tmp_path):
+        store = ArtifactStore(cache_dir=tmp_path)
+
+        def exploding(writer):
+            writer.append("ids", np.arange(5))
+            raise RuntimeError("synthesis died")
+
+        with pytest.raises(RuntimeError):
+            store.get_or_stream("trace", 1, exploding, n=1)
+        assert _disk_entries(tmp_path) == []
+        # The retry streams cleanly.
+        arrays = store.get_or_stream("trace", 1, self._producer, n=1)
+        assert np.array_equal(arrays["ids"], np.arange(100))
+
+    def test_invalid_stream_is_an_error(self, tmp_path):
+        store = ArtifactStore(cache_dir=tmp_path)
+        with pytest.raises(ConfigurationError):
+            store.get_or_stream(
+                "trace",
+                1,
+                lambda w: w.append("ids", np.array([1])),
+                validate=lambda a: len(a["ids"]) > 10,
                 n=1,
             )

@@ -1,0 +1,191 @@
+"""Kernel backend tests: REPRO_KERNEL selection and kernel equality.
+
+The kernel functions are written in the nopython-compatible subset of
+Python, so their *logic* is exercised here under the plain interpreter
+— on machines without numba installed, exactly the same source that
+``numba.njit`` would compile.  A separate CI job re-runs the equality
+tests with numba installed and ``REPRO_KERNEL=numba`` so the compiled
+twins are covered too.
+"""
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.cache.stackdist import _rank_counts
+from repro.errors import ConfigurationError
+from repro.trace.executor import _MAX_CALL_DEPTH, _UNIFORM_BATCH, TraceExecutor
+from repro.workload import TABLE1_SUITE, synthesize_program
+
+from tests.trace.test_executor import call_program, loop_program
+
+
+@pytest.fixture(autouse=True)
+def _fresh_backend():
+    kernels.refresh()
+    yield
+    kernels.refresh()
+
+
+class TestBackendSelection:
+    def test_numpy_forced(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "numpy")
+        assert kernels.kernel_backend() == "numpy"
+        assert kernels.active_trace_kernel() is None
+        assert kernels.active_rank_kernel() is None
+
+    def test_auto_matches_availability(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "auto")
+        expected = "numba" if kernels.numba_available() else "numpy"
+        assert kernels.kernel_backend() == expected
+
+    def test_unset_defaults_to_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert kernels.kernel_backend() in ("numpy", "numba")
+
+    def test_numba_without_numba_is_an_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "numba")
+        if kernels.numba_available():
+            assert kernels.kernel_backend() == "numba"
+            assert kernels.active_trace_kernel() is not None
+        else:
+            with pytest.raises(ConfigurationError):
+                kernels.kernel_backend()
+
+    def test_garbage_mode_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "cython")
+        with pytest.raises(ConfigurationError):
+            kernels.kernel_backend()
+
+
+def _drive_trace_kernel(program, budget, seed, capacity=1 << 12):
+    """Run the pure-Python trace kernel the way the executor drives it."""
+    executor = TraceExecutor(program, seed=seed)
+    compiled = executor.compiled
+    state = np.zeros(kernels.STATE_SIZE, dtype=np.int64)
+    state[kernels.STATE_CURRENT] = compiled.entry_id
+    call_stack = np.zeros(_MAX_CALL_DEPTH, dtype=np.int32)
+    out_ids = np.empty(capacity, dtype=np.int32)
+    out_taken = np.empty(capacity, dtype=np.int8)
+    ids, takens = [], []
+    while state[kernels.STATE_EXECUTED] < budget:
+        steps = kernels.trace_step_kernel(
+            compiled.lengths,
+            compiled.kinds,
+            compiled.taken_ids,
+            compiled.fall_ids,
+            compiled.biases,
+            compiled.indirect_offsets,
+            compiled.indirect_flat,
+            executor._uniforms,
+            out_ids,
+            out_taken,
+            call_stack,
+            state,
+            budget,
+            compiled.entry_id,
+        )
+        ids.append(out_ids[:steps].copy())
+        takens.append(out_taken[:steps].copy())
+        if state[kernels.STATE_EXECUTED] < budget and steps < capacity:
+            executor._uniforms = executor._rng.random(_UNIFORM_BATCH)
+            state[kernels.STATE_CURSOR] = 0
+    return (
+        np.concatenate(ids),
+        np.concatenate(takens),
+        int(state[kernels.STATE_RESTARTS]),
+    )
+
+
+class TestTraceKernelEquality:
+    @pytest.mark.parametrize(
+        "factory,budget",
+        [
+            (lambda: loop_program(bias=0.6), 8_000),
+            (lambda: loop_program(bias=0.05), 8_000),
+            (call_program, 2_000),
+            (lambda: synthesize_program(TABLE1_SUITE[0], seed=97), 40_000),
+        ],
+        ids=["loop", "loop-restarting", "calls", "synthesized"],
+    )
+    def test_kernel_matches_reference(self, factory, budget):
+        program = factory()
+        reference = TraceExecutor(program, seed=13).run_reference(budget)
+        ids, takens, restarts = _drive_trace_kernel(program, budget, seed=13)
+        assert np.array_equal(ids, reference.block_ids)
+        assert np.array_equal(takens, reference.went_taken)
+        assert restarts == reference.restarts
+
+    def test_kernel_resumes_across_tiny_output_windows(self):
+        # Chunk capacity far below the trace length: the kernel must
+        # carry current/stack/cursor state across many re-entries.
+        program = synthesize_program(TABLE1_SUITE[0], seed=5)
+        reference = TraceExecutor(program, seed=5).run_reference(15_000)
+        ids, takens, restarts = _drive_trace_kernel(
+            program, 15_000, seed=5, capacity=37
+        )
+        assert np.array_equal(ids, reference.block_ids)
+        assert np.array_equal(takens, reference.went_taken)
+        assert restarts == reference.restarts
+
+
+class TestRankKernelEquality:
+    def _fenwick(self, rank):
+        rank = np.ascontiguousarray(rank, dtype=np.int64)
+        out = np.empty(len(rank), dtype=np.int64)
+        tree = np.zeros(len(rank) + 1, dtype=np.int64)
+        return kernels.rank_counts_fenwick(rank, out, tree)
+
+    def _bruteforce(self, rank):
+        return np.array(
+            [int(np.sum(rank[:i] < rank[i])) for i in range(len(rank))],
+            dtype=np.int64,
+        )
+
+    def test_matches_merge_tree_and_bruteforce(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "numpy")
+        rng = np.random.default_rng(42)
+        for n in (1, 2, 3, 17, 100, 1000):
+            rank = rng.permutation(n).astype(np.int64)
+            brute = self._bruteforce(rank)
+            assert np.array_equal(self._fenwick(rank), brute)
+            assert np.array_equal(_rank_counts(rank.astype(np.int32)), brute)
+
+    def test_stackdist_dispatch_uses_active_kernel(self, monkeypatch):
+        # With a fake active kernel, _rank_counts must route through it.
+        calls = []
+
+        def fake_kernel(rank, out, tree):
+            calls.append(len(rank))
+            return kernels.rank_counts_fenwick(rank, out, tree)
+
+        monkeypatch.setattr(kernels, "active_rank_kernel", lambda: fake_kernel)
+        rank = np.random.default_rng(7).permutation(64).astype(np.int32)
+        got = _rank_counts(rank)
+        assert calls == [64]
+        assert np.array_equal(got, self._bruteforce(rank.astype(np.int64)))
+
+
+@pytest.mark.skipif(
+    not kernels.numba_available(), reason="numba not installed"
+)
+class TestCompiledBackend:
+    """Only runs where numba exists (the dedicated CI job)."""
+
+    def test_compiled_trace_path_matches_reference(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "numba")
+        program = synthesize_program(TABLE1_SUITE[0], seed=3)
+        reference = TraceExecutor(program, seed=3).run_reference(40_000)
+        got = TraceExecutor(program, seed=3).run(40_000, chunk_blocks=999)
+        assert np.array_equal(got.block_ids, reference.block_ids)
+        assert np.array_equal(got.went_taken, reference.went_taken)
+        assert got.restarts == reference.restarts
+
+    def test_compiled_rank_counts_match(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "numba")
+        rng = np.random.default_rng(9)
+        rank = rng.permutation(5000).astype(np.int32)
+        compiled_counts = _rank_counts(rank)
+        monkeypatch.setenv("REPRO_KERNEL", "numpy")
+        kernels.refresh()
+        assert np.array_equal(compiled_counts, _rank_counts(rank))
