@@ -316,7 +316,7 @@ class SuiteMeasurement:
         with self.tracer.span("session.prefetch_traces") as span:
             span.count("missing", len(missing))
             if self.store.use_disk:
-                cache_dir = self.store.cache_dir
+                cache_dir = self.store.disk_dir
                 self.executor.map(
                     synthesize_trace_to_cache,
                     [

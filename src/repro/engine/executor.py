@@ -28,6 +28,7 @@ to rehydration — both paths produce identical results.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -39,9 +40,35 @@ from repro.engine.shm import SHARED_BUNDLES
 from repro.errors import ConfigurationError
 from repro.obs.tracer import NULL_TRACER
 
-__all__ = ["SweepExecutor", "BACKENDS", "retire_inherited"]
+__all__ = ["SweepExecutor", "BACKENDS", "retire_inherited", "teardown_failures"]
 
 BACKENDS = ("serial", "process")
+
+_LOG = logging.getLogger(__name__)
+
+#: Count of pool-shutdown failures swallowed during garbage collection.
+#: ``__del__`` cannot let an exception escape (the interpreter would only
+#: print it and continue, detached from any caller), but a worker pool
+#: that fails to shut down is a real signal — leaked processes, a wedged
+#: semaphore — so each one is logged and counted here instead of being
+#: silently discarded.  Exposed through :func:`teardown_failures` for
+#: tests and the service stats endpoint.
+_TEARDOWN_FAILURES = 0
+
+
+def _record_teardown_failure(exc: BaseException) -> None:
+    global _TEARDOWN_FAILURES
+    _TEARDOWN_FAILURES += 1
+    _LOG.warning(
+        "sweep executor pool shutdown failed during teardown: %s: %s",
+        type(exc).__name__,
+        exc,
+    )
+
+
+def teardown_failures() -> int:
+    """How many pool shutdowns have failed during executor teardown."""
+    return _TEARDOWN_FAILURES
 
 #: Live objects forked workers inherit via copy-on-write, keyed by spec
 #: digest.  Populated in the parent by :meth:`SweepExecutor.prime` before
@@ -258,8 +285,11 @@ class SweepExecutor:
         return self._pool
 
     def _shutdown_pool(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
+        # getattr: __del__ reaches here even when __init__ raised before
+        # the executor finished constructing (no _pool attribute yet).
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
 
     def shutdown(self) -> None:
@@ -274,11 +304,21 @@ class SweepExecutor:
         self._shutdown_pool()
         retire_inherited()
 
-    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+    def __del__(self) -> None:
+        """Last-resort pool cleanup when an executor is garbage collected.
+
+        ``shutdown()`` is the real API and propagates failures; this
+        safety net only exists for executors dropped without one.  A
+        failure here is narrowed to the errors pool shutdown can
+        actually raise (OS resources, interpreter teardown races) and is
+        logged + counted rather than silently swallowed — anything else
+        is a genuine bug and is allowed to surface through the
+        interpreter's unraisable-exception hook.
+        """
         try:
             self._shutdown_pool()
-        except Exception:
-            pass
+        except (OSError, RuntimeError) as exc:
+            _record_teardown_failure(exc)
 
 
 # -- worker-side helpers ---------------------------------------------------

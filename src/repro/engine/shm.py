@@ -187,9 +187,25 @@ class SharedBundleRegistry:
                     return None
                 _unregister_tracker(getattr(shm, "_name", meta.shm_name))
                 self._handles[meta.shm_name] = shm
-            view = np.ndarray(
-                meta.shape, dtype=np.dtype(meta.dtype), buffer=shm.buf
-            )
+            buf = shm.buf
+            if buf is None:
+                # A fully-closed handle: ndarray(buffer=None) would
+                # *allocate* and hand back garbage, not raise.
+                self._handles.pop(meta.shm_name, None)
+                return None
+            try:
+                view = np.ndarray(
+                    meta.shape, dtype=np.dtype(meta.dtype), buffer=buf
+                )
+            except (ValueError, TypeError):
+                # The owner retired the group between our metadata check
+                # and this attach: the inherited handle's buffer is
+                # already closed (or the segment was re-created smaller).
+                # The docstring promises a miss, not an exception — drop
+                # the stale handle and let the caller fall back to the
+                # disk cache.
+                self._handles.pop(meta.shm_name, None)
+                return None
             view.flags.writeable = False
             out[name] = view
         return out

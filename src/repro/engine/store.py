@@ -30,6 +30,7 @@ are kept per store and reported by :meth:`ArtifactStore.stats`.
 
 from __future__ import annotations
 
+import math
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -42,9 +43,11 @@ from repro.errors import ConfigurationError
 from repro.trace.io import (
     MemoryBundleWriter,
     StreamingBundleWriter,
+    bundle_dir,
     cache_key,
     default_cache_dir,
     delete_entry,
+    entry_path,
     load_arrays,
     save_arrays,
 )
@@ -107,6 +110,8 @@ class StoreStats:
     misses: int = 0
     evictions: int = 0
     disk_writes: int = 0
+    disk_evictions: int = 0
+    disk_bytes: int = 0
     invalidations: int = 0
     entries: int = 0
 
@@ -120,7 +125,43 @@ class StoreStats:
 
     @property
     def hit_rate(self) -> float:
-        return self.hits / self.lookups if self.lookups else 0.0
+        """Hits per lookup, always a finite float in [0, 1].
+
+        Zero lookups yield 0.0 rather than a ZeroDivisionError, and a
+        corrupted counter (negative, NaN — e.g. a test stand-in or a
+        deserialized snapshot) can never leak a non-finite value into a
+        JSON response: the ledger and the service stats endpoint both
+        serialize this property with ``allow_nan=False``.
+        """
+        hits, lookups = self.hits, self.lookups
+        try:
+            if not lookups or lookups < 0 or hits < 0:
+                return 0.0
+            rate = hits / lookups
+        except (TypeError, ZeroDivisionError):
+            return 0.0
+        if not math.isfinite(rate):
+            return 0.0
+        return min(1.0, rate)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe rendering: every counter plus the derived rates.
+
+        This is what the run ledger and the sweep service serialize, so
+        it must survive ``json.dumps(..., allow_nan=False)`` verbatim.
+        """
+        def clean(value: Any) -> Any:
+            if isinstance(value, float) and not math.isfinite(value):
+                return None
+            return value
+
+        payload: Dict[str, Any] = {
+            name: clean(value) for name, value in vars(self).items()
+        }
+        payload["hits"] = clean(self.hits)
+        payload["lookups"] = clean(self.lookups)
+        payload["hit_rate"] = self.hit_rate
+        return payload
 
     def report(self) -> str:
         return (
@@ -128,6 +169,7 @@ class StoreStats:
             f"{self.memory_hits} memory hits, {self.disk_hits} disk hits, "
             f"{self.misses} misses, {self.evictions} evictions, "
             f"{self.disk_writes} disk writes, "
+            f"{self.disk_evictions} disk evictions, "
             f"{self.invalidations} invalidations "
             f"(hit rate {100.0 * self.hit_rate:.1f}%)"
         )
@@ -135,15 +177,42 @@ class StoreStats:
     __str__ = report
 
 
+def _check_namespace(namespace: str) -> str:
+    """A namespace must be a safe single path component."""
+    if (
+        not namespace
+        or len(namespace) > 64
+        or namespace != Path(namespace).name
+        or namespace.startswith(".")
+        or "/" in namespace
+        or "\\" in namespace
+    ):
+        raise ConfigurationError(
+            f"store namespace {namespace!r} is not a safe directory name"
+        )
+    return namespace
+
+
 class ArtifactStore:
     """Two-tier (memory LRU + disk) content-addressed artifact cache.
 
     Args:
-        cache_dir: Disk-tier directory (default: :func:`repro.trace.io.
-            default_cache_dir`, i.e. ``REPRO_CACHE_DIR`` or a tmpdir).
+        cache_dir: Disk-tier base directory (default: :func:`repro.trace.
+            io.default_cache_dir`, i.e. ``REPRO_CACHE_DIR`` or a tmpdir).
         memory_entries: LRU capacity of the in-memory tier.
         use_disk: Master switch for the disk tier; when False, artifacts
             requested with ``persist=True`` still live in memory only.
+        namespace: Optional shard of the disk tier: entries live under
+            ``cache_dir/namespace`` so many tenants' artifacts coexist in
+            one cache root without colliding, and one tenant's eviction
+            budget never deletes another tenant's entries.
+        max_disk_bytes: Optional disk-tier budget.  After every disk
+            write the least-recently-used entries *in this store's
+            namespace* are deleted until the tracked footprint fits the
+            budget again (the most recent entry always survives, even
+            when it alone exceeds the budget).  ``None`` disables
+            eviction.  Entries written by earlier processes are adopted
+            into the accounting by :meth:`scan_disk`.
     """
 
     def __init__(
@@ -151,15 +220,37 @@ class ArtifactStore:
         cache_dir: Optional[Path] = None,
         memory_entries: int = 1024,
         use_disk: bool = True,
+        namespace: Optional[str] = None,
+        max_disk_bytes: Optional[int] = None,
     ) -> None:
         if memory_entries < 1:
             raise ConfigurationError("memory_entries must be at least 1")
+        if max_disk_bytes is not None and max_disk_bytes < 1:
+            raise ConfigurationError("max_disk_bytes must be at least 1")
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.memory_entries = memory_entries
         self.use_disk = use_disk
+        self.namespace = (
+            _check_namespace(namespace) if namespace is not None else None
+        )
+        self.max_disk_bytes = max_disk_bytes
         self._memory: "OrderedDict[ArtifactKey, Any]" = OrderedDict()
+        #: Disk-tier LRU accounting: digest -> entry bytes, oldest first.
+        self._disk_lru: "OrderedDict[str, int]" = OrderedDict()
         self._lock = threading.Lock()
         self._stats = StoreStats()
+
+    @property
+    def disk_dir(self) -> Path:
+        """The effective disk-tier directory (namespace applied).
+
+        Always a concrete path — the default cache dir is resolved here
+        rather than at construction so ``REPRO_CACHE_DIR`` changes (tests,
+        forked workers) take effect per use, matching the historical
+        behaviour of passing ``cache_dir=None`` down to the io helpers.
+        """
+        base = self.cache_dir if self.cache_dir is not None else default_cache_dir()
+        return base / self.namespace if self.namespace else base
 
     # -- lookup / insertion ----------------------------------------------------
 
@@ -241,7 +332,7 @@ class ArtifactStore:
         with self._lock:
             self._stats.misses += 1
         if self.use_disk:
-            directory = self.cache_dir or default_cache_dir()
+            directory = self.disk_dir
             writer = StreamingBundleWriter(key.digest, cache_dir=directory)
             try:
                 producer(writer)
@@ -251,6 +342,7 @@ class ArtifactStore:
                 raise
             with self._lock:
                 self._stats.disk_writes += 1
+            self._account_disk_write(key.digest)
             arrays = load_arrays(key.digest, cache_dir=directory)
             if arrays is None:  # pragma: no cover - needs a racing deleter
                 raise ConfigurationError(
@@ -314,8 +406,9 @@ class ArtifactStore:
         key = ArtifactKey.make(kind, version, **params)
         with self._lock:
             self._memory.pop(key, None)
+            self._disk_lru.pop(key.digest, None)
         if self.use_disk:
-            delete_entry(key.digest, cache_dir=self.cache_dir)
+            delete_entry(key.digest, cache_dir=self.disk_dir)
 
     # -- internals -------------------------------------------------------------
 
@@ -338,14 +431,16 @@ class ArtifactStore:
         loads but is rejected by the owner's ``validate`` hook would
         otherwise be re-read and re-failed on every subsequent lookup.
         """
-        arrays = load_arrays(key.digest, cache_dir=self.cache_dir)
+        arrays = load_arrays(key.digest, cache_dir=self.disk_dir)
         if arrays is None:
             return None
         if validate is not None and not validate(arrays):
-            delete_entry(key.digest, cache_dir=self.cache_dir)
+            delete_entry(key.digest, cache_dir=self.disk_dir)
             with self._lock:
                 self._stats.invalidations += 1
+                self._disk_lru.pop(key.digest, None)
             return None
+        self._touch_disk(key.digest)
         return arrays
 
     def _insert(self, key: ArtifactKey, value: Any, persist: bool) -> None:
@@ -357,9 +452,10 @@ class ArtifactStore:
                     f"persistent artifact {key} must be a mapping of numpy "
                     f"arrays, got {type(value).__name__}"
                 )
-            save_arrays(key.digest, value, cache_dir=self.cache_dir)
+            save_arrays(key.digest, value, cache_dir=self.disk_dir)
             with self._lock:
                 self._stats.disk_writes += 1
+            self._account_disk_write(key.digest)
         self._remember(key, value)
 
     def _remember(self, key: ArtifactKey, value: Any) -> None:
@@ -370,6 +466,108 @@ class ArtifactStore:
                 self._memory.popitem(last=False)
                 self._stats.evictions += 1
 
+    # -- disk budget -----------------------------------------------------------
+
+    def _entry_nbytes(self, digest: str) -> int:
+        """On-disk footprint of one entry (both layouts), best effort."""
+        total = 0
+        directory = bundle_dir(digest, self.disk_dir)
+        try:
+            if directory.is_dir():
+                total += sum(
+                    item.stat().st_size
+                    for item in directory.iterdir()
+                    if item.is_file()
+                )
+            path = entry_path(digest, self.disk_dir)
+            if path.is_file():
+                total += path.stat().st_size
+        except OSError:  # pragma: no cover - entry racing a deleter
+            pass
+        return total
+
+    def _touch_disk(self, digest: str) -> None:
+        """Mark a disk entry recently used (adopting unknown entries)."""
+        if not self.use_disk:
+            return
+        with self._lock:
+            if digest in self._disk_lru:
+                self._disk_lru.move_to_end(digest)
+                return
+        nbytes = self._entry_nbytes(digest)
+        with self._lock:
+            self._disk_lru[digest] = nbytes
+            self._disk_lru.move_to_end(digest)
+
+    def _account_disk_write(self, digest: str) -> None:
+        """Record a fresh disk write, then enforce the byte budget."""
+        nbytes = self._entry_nbytes(digest)
+        with self._lock:
+            self._disk_lru[digest] = nbytes
+            self._disk_lru.move_to_end(digest)
+        self._enforce_disk_budget()
+
+    def _enforce_disk_budget(self) -> None:
+        """Delete LRU disk entries until the tracked footprint fits.
+
+        The most recently used entry is never evicted — a just-written
+        artifact must survive its own write even when it alone exceeds
+        the budget, or the store would thrash on every lookup.
+        """
+        if self.max_disk_bytes is None or not self.use_disk:
+            return
+        while True:
+            with self._lock:
+                if (
+                    len(self._disk_lru) <= 1
+                    or sum(self._disk_lru.values()) <= self.max_disk_bytes
+                ):
+                    return
+                digest, _ = self._disk_lru.popitem(last=False)
+                self._stats.disk_evictions += 1
+            delete_entry(digest, cache_dir=self.disk_dir)
+
+    def scan_disk(self) -> int:
+        """Adopt pre-existing disk entries into the LRU accounting.
+
+        Entries already on disk (written by an earlier process sharing
+        the cache directory) join the cold end of the LRU in name order,
+        so a budgeted store starting over an old cache evicts strangers
+        before anything it wrote itself.  Returns the number of entries
+        adopted, and enforces the budget afterwards.
+        """
+        if not self.use_disk:
+            return 0
+        directory = self.disk_dir
+        if not directory.is_dir():
+            return 0
+        digests = set()
+        for item in sorted(directory.iterdir()):
+            name = item.name
+            if name.endswith(".npy.d") and item.is_dir():
+                digests.add(name[: -len(".npy.d")])
+            elif name.endswith(".npz") and item.is_file():
+                digests.add(name[: -len(".npz")])
+        adopted = 0
+        for digest in sorted(digests):
+            with self._lock:
+                known = digest in self._disk_lru
+            if known:
+                continue
+            nbytes = self._entry_nbytes(digest)
+            with self._lock:
+                if digest not in self._disk_lru:
+                    self._disk_lru[digest] = nbytes
+                    self._disk_lru.move_to_end(digest, last=False)
+                    adopted += 1
+        self._enforce_disk_budget()
+        return adopted
+
+    def disk_usage(self) -> int:
+        """Tracked disk-tier bytes (entries this store has seen)."""
+        with self._lock:
+            return sum(self._disk_lru.values())
+
     # -- reporting -------------------------------------------------------------
 
     def stats(self) -> StoreStats:
@@ -377,6 +575,7 @@ class ArtifactStore:
         with self._lock:
             snapshot = StoreStats(**vars(self._stats))
             snapshot.entries = len(self._memory)
+            snapshot.disk_bytes = sum(self._disk_lru.values())
         return snapshot
 
     def clear_memory(self) -> None:

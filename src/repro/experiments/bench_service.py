@@ -1,0 +1,348 @@
+"""CLI: load-test the sweep service (latency percentiles + hit rates).
+
+Usage::
+
+    python -m repro.experiments.bench_service                    # quick scale
+    python -m repro.experiments.bench_service --clients 8 --out BENCH.json
+
+Starts a real :class:`~repro.service.SweepService` in-process on an
+ephemeral loopback port, then drives it with ``--clients`` concurrent
+threads, each submitting ``--requests`` blocking sweep queries drawn
+from a small pool of *overlapping* grids (every client re-spells and
+re-orders its grids, so the canonicalization and memo layers — not
+client cooperation — are what de-duplicates the work).
+
+Reported per run:
+
+* wall-latency p50 / p90 / p99 across every request, plus the cold
+  (first-answer) and warm (memoised) populations separately;
+* the scheduler's memo hit rate and coalescing counts — on an
+  overlapping workload most requests must be answered without touching
+  a simulator;
+* the artifact store's disk budget accounting: the benchmark runs with
+  a deliberately small ``--budget-bytes``, and records the eviction
+  count showing the LRU byte budget was enforced while the service
+  stayed correct.
+
+Everything (trace cache, spool, service store) lives in a throwaway
+temp directory, so the benchmark never perturbs the user's real caches.
+The ``BENCH_pr8.json`` committed at the repo root is one quick-scale
+run of this tool.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.session import SessionRegistry
+from repro.engine.store import ArtifactStore
+from repro.errors import ConfigurationError
+from repro.experiments.common import EXPERIMENT_SCALES
+from repro.obs import RunLedger
+from repro.service import ServiceClient, SweepScheduler, SweepService
+
+__all__ = ["main", "run_benchmark"]
+
+#: The overlapping query pool: four small grids sharing design points.
+#: Every client hits every grid, spelled differently per client.
+_GRID_POOL = [
+    {"base": {"penalty": 8}, "axes": {"icache_kw": [1, 2], "dcache_kw": [1, 2]}},
+    {"base": {"penalty": 8}, "axes": {"icache_kw": [2, 4]}},
+    {"base": {"penalty": 12}, "axes": {"dcache_kw": [1, 2]}},
+    {"base": {"penalty": 8, "block_words": 8}, "axes": {"icache_kw": [1, 2]}},
+]
+
+
+def _respell(grid: Dict[str, Any], client: int) -> Any:
+    """A per-client spelling of the same semantic grid.
+
+    Even clients send the compact axes form; odd clients expand it to an
+    explicit (reversed) list with float-spelled integers.  Both must
+    canonicalize to the same digest server-side.
+    """
+    if client % 2 == 0:
+        return grid
+    base = dict(grid.get("base", {}))
+    entries: List[Dict[str, Any]] = [dict(base)]
+    for name in sorted(grid.get("axes", {})):
+        entries = [
+            {**entry, name: float(value)}
+            for entry in entries
+            for value in grid["axes"][name]
+        ]
+    entries.reverse()
+    return entries
+
+
+def _percentiles(samples_ms: Sequence[float]) -> Dict[str, float]:
+    if not samples_ms:
+        return {"p50_ms": 0.0, "p90_ms": 0.0, "p99_ms": 0.0, "mean_ms": 0.0}
+    data = np.asarray(sorted(samples_ms), dtype=np.float64)
+    return {
+        "p50_ms": float(np.percentile(data, 50)),
+        "p90_ms": float(np.percentile(data, 90)),
+        "p99_ms": float(np.percentile(data, 99)),
+        "mean_ms": float(data.mean()),
+    }
+
+
+def run_benchmark(
+    scale: Optional[str] = None,
+    clients: int = 8,
+    requests: int = 8,
+    workers: int = 2,
+    budget_bytes: int = 1 << 19,
+    stream=sys.stdout,
+) -> RunLedger:
+    """Drive one in-process service hard; return the latency ledger."""
+    if clients < 1:
+        raise ConfigurationError(f"clients must be at least 1, got {clients}")
+    if requests < 1:
+        raise ConfigurationError(f"requests must be at least 1, got {requests}")
+    registry = SessionRegistry(scales=dict(EXPERIMENT_SCALES))
+    resolved_scale = registry.resolve_scale(scale)
+
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as scratch:
+        root = Path(scratch)
+        previous_cache = os.environ.get("REPRO_CACHE_DIR")
+        os.environ["REPRO_CACHE_DIR"] = str(root / "cache")
+        try:
+            scheduler = SweepScheduler(
+                registry=registry,
+                store=ArtifactStore(
+                    cache_dir=root / "cache", namespace="service"
+                ),
+                workers=workers,
+                spool_dir=root / "spool",
+                max_disk_bytes=budget_bytes,
+            )
+            service = SweepService(scheduler, port=0)
+            loop = asyncio.new_event_loop()
+            started = threading.Event()
+
+            def serve() -> None:
+                asyncio.set_event_loop(loop)
+                loop.run_until_complete(service.start())
+                started.set()
+                loop.run_forever()
+
+            server_thread = threading.Thread(target=serve, daemon=True)
+            server_thread.start()
+            if not started.wait(30):
+                raise ConfigurationError("service failed to start")
+            try:
+                return _drive(
+                    service, scheduler, resolved_scale, clients, requests, stream,
+                    budget_bytes,
+                )
+            finally:
+                asyncio.run_coroutine_threadsafe(service.stop(), loop).result(30)
+                loop.call_soon_threadsafe(loop.stop)
+                server_thread.join(timeout=10)
+        finally:
+            if previous_cache is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = previous_cache
+
+
+def _drive(
+    service: SweepService,
+    scheduler: SweepScheduler,
+    scale: str,
+    clients: int,
+    requests: int,
+    stream,
+    budget_bytes: int,
+) -> RunLedger:
+    latencies: List[Dict[str, Any]] = []
+    record_lock = threading.Lock()
+    errors: List[str] = []
+    barrier = threading.Barrier(clients)
+
+    def client_loop(client_index: int) -> None:
+        client = ServiceClient(port=service.port, timeout=600)
+        tenant = f"tenant-{client_index}"
+        barrier.wait()  # all clients fire together
+        for request_index in range(requests):
+            grid = _respell(
+                _GRID_POOL[request_index % len(_GRID_POOL)], client_index
+            )
+            started = time.perf_counter()
+            try:
+                resp = client.submit(grid, scale=scale, tenant=tenant, wait=True)
+            except Exception as exc:  # noqa: BLE001 - recorded, then fatal
+                with record_lock:
+                    errors.append(f"client {client_index}: {exc}")
+                return
+            wall_ms = (time.perf_counter() - started) * 1e3
+            with record_lock:
+                latencies.append(
+                    {
+                        "client": client_index,
+                        "request": request_index,
+                        "wall_ms": wall_ms,
+                        "cache_hit": bool(resp.get("cache_hit")),
+                        "digest": resp.get("digest"),
+                    }
+                )
+
+    threads = [
+        threading.Thread(target=client_loop, args=(index,), daemon=True)
+        for index in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    total_wall_s = time.perf_counter() - started
+    if errors:
+        raise ConfigurationError("; ".join(errors[:3]))
+
+    stats = scheduler.stats()
+    all_ms = [entry["wall_ms"] for entry in latencies]
+    warm_ms = [e["wall_ms"] for e in latencies if e["cache_hit"]]
+    cold_ms = [e["wall_ms"] for e in latencies if not e["cache_hit"]]
+    submitted = stats["submitted"]
+    served_without_sweep = stats["memo_hits"] + stats["coalesced"]
+    memo_rate = served_without_sweep / submitted if submitted else 0.0
+
+    ledger = RunLedger()
+    for entry in latencies:
+        ledger.record_experiment(
+            f"client{entry['client']}:req{entry['request']}",
+            entry["wall_ms"] / 1e3,
+        )
+    ledger.set_run_info(
+        benchmark="sweep-service",
+        scale=scale,
+        clients=clients,
+        requests_per_client=requests,
+        total_requests=len(latencies),
+        total_wall_s=total_wall_s,
+        throughput_rps=len(latencies) / total_wall_s if total_wall_s else 0.0,
+        latency=_percentiles(all_ms),
+        latency_cold=_percentiles(cold_ms),
+        latency_warm=_percentiles(warm_ms),
+        cold_requests=len(cold_ms),
+        warm_requests=len(warm_ms),
+        scheduler={
+            key: stats[key]
+            for key in ("submitted", "memo_hits", "coalesced", "completed", "failed")
+        },
+        memoised_frac=memo_rate,
+        store=stats["store"],
+        sessions=stats["sessions"],
+        disk_budget_bytes=budget_bytes,
+        disk_evictions=sum(
+            tier.get("disk_evictions", 0)
+            for tier in [stats["store"], *stats["sessions"].values()]
+        ),
+    )
+    summary = ledger.run_info
+    print(
+        f"{len(latencies)} requests from {clients} clients in "
+        f"{total_wall_s:.2f}s ({summary['throughput_rps']:.1f} req/s)",
+        file=stream,
+    )
+    print(
+        f"latency p50={summary['latency']['p50_ms']:.1f}ms "
+        f"p99={summary['latency']['p99_ms']:.1f}ms "
+        f"(cold p99={summary['latency_cold']['p99_ms']:.1f}ms, "
+        f"warm p99={summary['latency_warm']['p99_ms']:.1f}ms)",
+        file=stream,
+    )
+    print(
+        f"memoised {summary['memoised_frac'] * 100:.1f}% of requests "
+        f"({summary['scheduler']['memo_hits']} memo hits, "
+        f"{summary['scheduler']['coalesced']} coalesced, "
+        f"{summary['scheduler']['completed']} completed); "
+        f"disk budget {budget_bytes} B enforced with "
+        f"{summary['disk_evictions']} evictions",
+        file=stream,
+    )
+    return ledger
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Load-test the sweep service: latency + hit rates."
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(EXPERIMENT_SCALES),
+        default=None,
+        help="trace scale (default: REPRO_SCALE env var or 'full')",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        metavar="N",
+        help="concurrent client threads (default: 8)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=8,
+        metavar="N",
+        help="requests per client over the overlapping pool (default: 8)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="scheduler worker threads (default: 2)",
+    )
+    parser.add_argument(
+        "--budget-bytes",
+        type=int,
+        default=1 << 19,
+        metavar="BYTES",
+        help="disk LRU budget for the artifact stores (default: 512 KiB, "
+        "smaller than one quick-scale run's artifacts on purpose so "
+        "eviction is exercised)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the run ledger (JSON + ASCII twin) here",
+    )
+    args = parser.parse_args(argv)
+    for name in ("clients", "requests", "workers", "budget_bytes"):
+        if getattr(args, name) < 1:
+            parser.error(f"--{name.replace('_', '-')} must be at least 1")
+    try:
+        ledger = run_benchmark(
+            scale=args.scale,
+            clients=args.clients,
+            requests=args.requests,
+            workers=args.workers,
+            budget_bytes=args.budget_bytes,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.out is not None:
+        ledger.write(args.out)
+        args.out.with_suffix(".txt").write_text(ledger.render_summary() + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -31,7 +31,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import math
 import sys
 import time
 from pathlib import Path
@@ -81,30 +80,10 @@ __all__ = [
 ]
 
 
-def jsonable(value):
-    """Convert experiment data to JSON-encodable structures.
-
-    Experiment data dicts freely use tuple keys (e.g. ``(b, l)`` slot
-    pairs) and numpy scalars; JSON supports neither, so tuples become
-    comma-joined strings and numpy values their Python equivalents.
-    Non-finite floats (NaN, ±Infinity) become ``None``: bare ``NaN`` /
-    ``Infinity`` tokens are not strict JSON and break downstream
-    consumers that parse with ``parse_constant`` rejection.
-    """
-    if isinstance(value, dict):
-        return {
-            ",".join(map(str, k)) if isinstance(k, tuple) else str(k): jsonable(v)
-            for k, v in value.items()
-        }
-    if isinstance(value, (list, tuple)):
-        return [jsonable(v) for v in value]
-    if hasattr(value, "item") and callable(value.item):  # numpy scalar
-        value = value.item()
-    if isinstance(value, float) and not math.isfinite(value):
-        return None
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    return str(value)
+# Canonical home is repro.utils.jsonio (the sweep service and the run
+# ledger share it); re-exported here because the CLI has always carried
+# it in its public __all__.
+from repro.utils.jsonio import jsonable  # noqa: E402  (re-export)
 
 ALL_EXPERIMENTS: Dict[str, Callable] = {
     "table1": table1.run,
@@ -266,8 +245,17 @@ def run_experiments(
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        # `runner serve ...` hands off to the sweep service CLI; the
+        # experiment flags below do not apply to a long-lived server.
+        from repro.service.__main__ import serve_main
+
+        return serve_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
-        description="Regenerate the paper's tables and figures."
+        description="Regenerate the paper's tables and figures "
+        "('serve' starts the sweep service; see `serve --help`)."
     )
     parser.add_argument(
         "experiments",

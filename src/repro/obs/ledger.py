@@ -73,7 +73,17 @@ class RunLedger:
         self.jobs_info.update(info)
 
     def snapshot_store(self, stats: Any) -> None:
-        """Record an :class:`~repro.engine.store.StoreStats` snapshot."""
+        """Record an :class:`~repro.engine.store.StoreStats` snapshot.
+
+        Uses the stats object's JSON-safe ``as_dict`` rendering when it
+        has one (non-finite rates can never reach :meth:`write`, which
+        serializes with ``allow_nan=False``); duck-typed stand-ins
+        without it fall back to their plain attribute dict.
+        """
+        as_dict = getattr(stats, "as_dict", None)
+        if callable(as_dict):
+            self.store_stats = dict(as_dict())
+            return
         self.store_stats = dict(vars(stats))
         self.store_stats["hit_rate"] = stats.hit_rate
 

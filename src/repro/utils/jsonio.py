@@ -1,0 +1,37 @@
+"""Strict-JSON coercion shared by the CLI, ledger, and sweep service.
+
+Experiment data dicts freely use tuple keys (e.g. ``(b, l)`` slot pairs)
+and numpy scalars; JSON supports neither.  Service responses and the run
+ledger are additionally serialized with ``allow_nan=False``, so bare
+``NaN``/``Infinity`` tokens (not strict JSON, and rejected by many
+downstream parsers) must never survive coercion.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["jsonable"]
+
+
+def jsonable(value):
+    """Convert experiment data to JSON-encodable structures.
+
+    Tuple keys become comma-joined strings, numpy values their Python
+    equivalents, and non-finite floats (NaN, ±Infinity) become ``None``.
+    Anything else unencodable falls back to ``str``.
+    """
+    if isinstance(value, dict):
+        return {
+            ",".join(map(str, k)) if isinstance(k, tuple) else str(k): jsonable(v)
+            for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if hasattr(value, "item") and callable(value.item):  # numpy scalar
+        value = value.item()
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

@@ -331,3 +331,57 @@ class TestSweepEquivalence:
             assert np.array_equal(theirs.trace.block_ids, ours.trace.block_ids)
             assert np.array_equal(theirs.trace.went_taken, ours.trace.went_taken)
             assert theirs.trace.restarts == ours.trace.restarts
+
+
+class TestTeardownAccounting:
+    """The ``__del__`` satellite: failures are counted, not swallowed."""
+
+    def test_clean_del_records_nothing(self):
+        before = executor_module.teardown_failures()
+        SweepExecutor(backend="serial").__del__()
+        assert executor_module.teardown_failures() == before
+
+    def test_shutdown_failure_is_logged_and_counted(self, monkeypatch, caplog):
+        executor = SweepExecutor(backend="serial")
+        monkeypatch.setattr(
+            executor,
+            "_shutdown_pool",
+            lambda: (_ for _ in ()).throw(OSError("semaphore wedged")),
+            raising=False,
+        )
+        before = executor_module.teardown_failures()
+        with caplog.at_level("WARNING", logger="repro.engine.executor"):
+            executor.__del__()
+        assert executor_module.teardown_failures() == before + 1
+        assert any("semaphore wedged" in rec.message for rec in caplog.records)
+        # The executor object must stay collectable afterwards.
+        monkeypatch.undo()
+        executor.__del__()
+
+    def test_runtime_error_also_counted(self, monkeypatch):
+        executor = SweepExecutor(backend="serial")
+        monkeypatch.setattr(
+            executor,
+            "_shutdown_pool",
+            lambda: (_ for _ in ()).throw(RuntimeError("interpreter teardown")),
+            raising=False,
+        )
+        before = executor_module.teardown_failures()
+        executor.__del__()
+        assert executor_module.teardown_failures() == before + 1
+        monkeypatch.undo()
+
+    def test_unexpected_errors_still_surface(self, monkeypatch):
+        """Only shutdown's real failure modes are narrowed; bugs raise."""
+        executor = SweepExecutor(backend="serial")
+        monkeypatch.setattr(
+            executor,
+            "_shutdown_pool",
+            lambda: (_ for _ in ()).throw(ValueError("a genuine bug")),
+            raising=False,
+        )
+        before = executor_module.teardown_failures()
+        with pytest.raises(ValueError):
+            executor.__del__()
+        assert executor_module.teardown_failures() == before
+        monkeypatch.undo()

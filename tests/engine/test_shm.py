@@ -156,3 +156,61 @@ class TestRetireOwnedAtexit:
         assert callable(shm_module.SHARED_BUNDLES.retire_owned)
         atexit.unregister(shm_module.SHARED_BUNDLES.retire_owned)
         atexit.register(shm_module.SHARED_BUNDLES.retire_owned)
+
+
+class TestLookupRaces:
+    """The lookup satellite: owner teardown mid-lookup is a miss, never
+    an exception (callers fall back to the disk cache) and never garbage."""
+
+    def test_released_buffer_is_a_miss(self, registry):
+        registry.export("g", "trace", _bundle())
+        assert registry.lookup("g", "trace") is not None
+        # Simulate the owner's retire() racing this consumer: close()'s
+        # first step releases the memoryview before the handle is
+        # dropped, so a concurrent lookup sees a released buffer.
+        names = _segment_names(registry, "g")
+        for name in names:
+            handle = registry._handles[name]
+            handle._buf.release()
+        assert registry.lookup("g", "trace") is None
+        # Each miss drops the stale handle it tripped on; because the
+        # segments are still linked, later lookups re-attach by name and
+        # recover the bundle without ever raising.
+        views = None
+        for _ in range(len(names) + 1):
+            views = registry.lookup("g", "trace")
+            if views is not None:
+                break
+        assert views is not None
+        assert np.array_equal(views["block_ids"], _bundle()["block_ids"])
+
+    def test_fully_closed_handle_is_a_miss_not_garbage(self, registry):
+        registry.export("g", "trace", _bundle())
+        assert registry.lookup("g", "trace") is not None
+        names = _segment_names(registry, "g")
+        for name in names:
+            registry._handles[name].close()  # buf becomes None
+        # ndarray(buffer=None) would silently *allocate* uninitialized
+        # memory; the registry must miss instead of fabricating data.
+        assert registry.lookup("g", "trace") is None
+        # Stale handles are shed one per lookup; segments are still
+        # linked, so re-attachment by name eventually recovers the data.
+        views = None
+        for _ in range(len(names) + 1):
+            views = registry.lookup("g", "trace")
+            if views is not None:
+                break
+        assert views is not None
+        assert np.array_equal(views["block_ids"], _bundle()["block_ids"])
+
+    def test_unlinked_segments_fall_back_to_miss(self, registry):
+        registry.export("g", "trace", _bundle())
+        names = _segment_names(registry, "g")
+        # The owner process unlinked and dropped everything, but this
+        # (forked) consumer still holds the group metadata.
+        for name in names:
+            handle = registry._handles.pop(name)
+            handle.close()
+            handle.unlink()
+        assert registry.lookup("g", "trace") is None
+        registry._groups.pop("g", None)  # nothing left to retire

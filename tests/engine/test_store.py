@@ -315,3 +315,161 @@ class TestGetOrStream:
                 validate=lambda a: len(a["ids"]) > 10,
                 n=1,
             )
+
+
+class TestStoreStatsEdges:
+    """StoreStats.hit_rate / as_dict: the JSON-safety satellite."""
+
+    def test_zero_lookups_is_zero_not_an_error(self):
+        from repro.engine.store import StoreStats
+
+        stats = StoreStats()
+        assert stats.lookups == 0
+        assert stats.hit_rate == 0.0
+
+    def test_corrupted_counters_never_leak_non_finite(self):
+        from repro.engine.store import StoreStats
+
+        bad = StoreStats(memory_hits=-3)
+        assert bad.hit_rate == 0.0
+        nan = StoreStats(memory_hits=float("nan"), misses=1)
+        assert nan.hit_rate == 0.0
+        inf = StoreStats(memory_hits=float("inf"), misses=1)
+        assert inf.hit_rate == 0.0
+        over = StoreStats(memory_hits=5, misses=-1)  # hits > lookups
+        assert 0.0 <= over.hit_rate <= 1.0
+
+    def test_as_dict_is_strict_json(self):
+        import json
+
+        from repro.engine.store import StoreStats
+
+        stats = StoreStats(memory_hits=float("nan"), misses=2)
+        payload = stats.as_dict()
+        encoded = json.dumps(payload, allow_nan=False)
+        decoded = json.loads(encoded)
+        assert decoded["hit_rate"] == 0.0
+        assert {"hits", "lookups", "hit_rate", "disk_bytes"} <= set(decoded)
+
+    def test_report_mentions_disk_budget_counters(self, tmp_path):
+        store = ArtifactStore(cache_dir=tmp_path)
+        assert "disk evictions" in store.stats().report()
+
+
+class TestNamespaces:
+    def _arrays(self):
+        return {"ids": np.arange(16)}
+
+    def test_namespaces_partition_the_disk_tier(self, tmp_path):
+        a = ArtifactStore(cache_dir=tmp_path, namespace="alice")
+        b = ArtifactStore(cache_dir=tmp_path, namespace="bob")
+        a.get_or_create("t", 1, self._arrays, persist=True, n=1)
+        assert b.peek("t", 1, persist=True, n=1) is None
+        assert (tmp_path / "alice").is_dir()
+        assert not any(tmp_path.glob("*.npy.d"))  # nothing at the root
+
+    def test_same_namespace_shares_entries(self, tmp_path):
+        a = ArtifactStore(cache_dir=tmp_path, namespace="team")
+        b = ArtifactStore(cache_dir=tmp_path, namespace="team")
+        a.get_or_create("t", 1, self._arrays, persist=True, n=1)
+        rehydrated = b.peek("t", 1, persist=True, n=1)
+        assert rehydrated is not None
+        assert np.array_equal(rehydrated["ids"], np.arange(16))
+
+    def test_bad_namespaces_rejected(self, tmp_path):
+        for bad in ("", "a/b", "..", ".hidden", "a\\b", "x" * 200):
+            with pytest.raises(ConfigurationError):
+                ArtifactStore(cache_dir=tmp_path, namespace=bad)
+
+
+class TestDiskBudget:
+    def _fill(self, store, count, size=1000):
+        for i in range(count):
+            store.put(
+                "blob", 1, {"x": np.arange(size, dtype=np.int64)},
+                persist=True, n=i,
+            )
+
+    def test_budget_evicts_lru_entries(self, tmp_path):
+        entry_bytes = ArtifactStore(cache_dir=tmp_path / "probe")
+        entry_bytes.put("blob", 1, {"x": np.arange(1000, dtype=np.int64)},
+                        persist=True, n=0)
+        per_entry = entry_bytes.disk_usage()
+        assert per_entry > 0
+
+        store = ArtifactStore(
+            cache_dir=tmp_path / "real", max_disk_bytes=3 * per_entry
+        )
+        self._fill(store, 5)
+        stats = store.stats()
+        assert stats.disk_evictions == 2
+        assert stats.disk_bytes <= 3 * per_entry
+        # Oldest entries evicted: n=0,1 gone; n=2..4 survive on disk.
+        fresh = ArtifactStore(cache_dir=tmp_path / "real")
+        assert fresh.peek("blob", 1, persist=True, n=0) is None
+        assert fresh.peek("blob", 1, persist=True, n=4) is not None
+
+    def test_disk_hit_refreshes_lru_position(self, tmp_path):
+        probe = ArtifactStore(cache_dir=tmp_path / "probe")
+        probe.put("blob", 1, {"x": np.arange(1000, dtype=np.int64)},
+                  persist=True, n=0)
+        per_entry = probe.disk_usage()
+
+        store = ArtifactStore(
+            cache_dir=tmp_path / "real", max_disk_bytes=2 * per_entry
+        )
+        self._fill(store, 2)
+        store.clear_memory()
+        assert store.get_or_create(
+            "blob", 1, lambda: pytest.fail("must hit disk"), persist=True, n=0
+        ) is not None  # n=0 is now the hottest entry
+        self._fill(store, 1, size=1000)  # re-put n=0? no: n starts at 0
+        # Insert a third entry; the coldest (n=1) must go, not n=0.
+        store.put("blob", 1, {"x": np.arange(1000, dtype=np.int64)},
+                  persist=True, n=99)
+        fresh = ArtifactStore(cache_dir=tmp_path / "real")
+        assert fresh.peek("blob", 1, persist=True, n=0) is not None
+        assert fresh.peek("blob", 1, persist=True, n=1) is None
+
+    def test_most_recent_entry_never_evicted(self, tmp_path):
+        store = ArtifactStore(cache_dir=tmp_path, max_disk_bytes=1)
+        store.put("blob", 1, {"x": np.arange(4096, dtype=np.int64)},
+                  persist=True, n=0)
+        # Far over budget, but the only (and newest) entry survives.
+        assert store.peek("blob", 1, persist=True, n=0) is not None
+        assert store.stats().disk_evictions == 0
+
+    def test_scan_disk_adopts_preexisting_entries(self, tmp_path):
+        writer = ArtifactStore(cache_dir=tmp_path)
+        self._fill(writer, 3)
+        reader = ArtifactStore(cache_dir=tmp_path)
+        adopted = reader.scan_disk()
+        assert adopted == 3
+        assert reader.disk_usage() == writer.disk_usage()
+        assert reader.scan_disk() == 0  # idempotent
+
+    def test_adopted_strangers_evict_before_own_writes(self, tmp_path):
+        writer = ArtifactStore(cache_dir=tmp_path)
+        self._fill(writer, 2)
+        per_entry = writer.disk_usage() // 2
+        budgeted = ArtifactStore(
+            cache_dir=tmp_path, max_disk_bytes=2 * per_entry + per_entry // 2
+        )
+        budgeted.scan_disk()
+        budgeted.put("blob", 1, {"x": np.arange(1000, dtype=np.int64)},
+                     persist=True, n=99)
+        # Its own write survives; a stranger was evicted instead.
+        fresh = ArtifactStore(cache_dir=tmp_path)
+        assert fresh.peek("blob", 1, persist=True, n=99) is not None
+        assert fresh.peek("blob", 1, persist=True, n=0) is None
+
+    def test_invalid_budget_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ArtifactStore(cache_dir=tmp_path, max_disk_bytes=0)
+
+    def test_invalidate_updates_accounting(self, tmp_path):
+        store = ArtifactStore(cache_dir=tmp_path, max_disk_bytes=10**9)
+        self._fill(store, 2)
+        before = store.disk_usage()
+        store.invalidate("blob", 1, n=0)
+        assert store.disk_usage() < before

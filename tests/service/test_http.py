@@ -1,0 +1,204 @@
+"""End-to-end HTTP tests: a real server over a miniature real session.
+
+One module-scoped server (tiny instruction budget, loopback, ephemeral
+port) backs every test; the first sweep warms the session, later tests
+ride the memo and artifact tiers.
+"""
+
+import asyncio
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.engine.session import SessionRegistry
+from repro.engine.store import ArtifactStore
+from repro.service import ServiceClient, ServiceError, SweepScheduler, SweepService
+
+TINY = {"tiny": 1500}
+GRID = {"base": {"penalty": 8}, "axes": {"icache_kw": [1, 2]}}
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("service")
+    import os
+
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp / "cache")
+    scheduler = SweepScheduler(
+        registry=SessionRegistry(scales=TINY),
+        store=ArtifactStore(cache_dir=tmp / "svc", namespace="service"),
+        workers=2,
+        spool_dir=tmp / "spool",
+    )
+    service = SweepService(scheduler, port=0)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def run():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(service.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(30)
+    try:
+        yield service
+    finally:
+        asyncio.run_coroutine_threadsafe(service.stop(), loop).result(30)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+        if previous is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = previous
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServiceClient(port=server.port, timeout=240)
+
+
+def _raw(server, method, path, body=None, headers=None):
+    connection = http.client.HTTPConnection("127.0.0.1", server.port, timeout=60)
+    try:
+        connection.request(method, path, body=body, headers=headers or {})
+        response = connection.getresponse()
+        return response.status, response.read()
+    finally:
+        connection.close()
+
+
+class TestPlumbing:
+    def test_healthz(self, server, client):
+        assert client.healthz()["ok"] is True
+
+    def test_unknown_route_404(self, server):
+        status, body = _raw(server, "GET", "/v1/nope")
+        assert status == 404
+        assert b"no route" in body
+
+    def test_wrong_method_405(self, server):
+        assert _raw(server, "POST", "/healthz")[0] == 405
+        assert _raw(server, "GET", "/v1/sweeps")[0] == 405
+
+    def test_non_json_body_400(self, server):
+        status, body = _raw(server, "POST", "/v1/sweeps", body=b"not json")
+        assert status == 400
+        assert b"not JSON" in body
+
+    def test_non_object_body_400(self, server):
+        status, _ = _raw(server, "POST", "/v1/sweeps", body=b"[1,2]")
+        assert status == 400
+
+    def test_bad_content_length_400(self, server):
+        status, _ = _raw(
+            server,
+            "POST",
+            "/v1/sweeps",
+            body=b"{}",
+            headers={"Content-Length": "banana"},
+        )
+        assert status == 400
+
+    def test_stats_shape(self, server, client):
+        stats = client.stats()
+        assert {"submitted", "memo_hits", "coalesced", "store"} <= set(stats)
+        assert 0.0 <= stats["store"]["hit_rate"] <= 1.0
+
+
+class TestSweeps:
+    def test_wait_submission_returns_the_answer(self, server, client):
+        resp = client.submit(GRID, scale="tiny", wait=True)
+        assert resp["_status"] == 200
+        assert resp["state"] == "done"
+        result = resp["result"]
+        assert result["point_count"] == 2
+        assert result["best"] is not None
+        assert result["cache"] is False
+        tpis = [p["tpi_ns"] for p in result["points"]]
+        assert result["best"]["tpi_ns"] == min(tpis)
+
+    def test_repeat_query_is_a_memo_hit_with_no_execution(
+        self, server, client
+    ):
+        # Different spelling, different tenant — same canonical query.
+        respelled = [
+            {"icache_kw": 2.0, "penalty": 8.0},
+            {"penalty": 8, "icache_kw": 1},
+        ]
+        resp = client.submit(respelled, scale="tiny", tenant="other", wait=True)
+        assert resp["cache_hit"] is True
+        assert resp["result"]["cache"] is True
+        events = client.wait_for_events(resp["job_id"])
+        kinds = [e["kind"] for e in events]
+        assert kinds == ["memo_hit", "done"]
+        assert not any(k == "span" for k in kinds)
+
+    def test_async_submission_polls_to_done(self, server, client):
+        grid = {"base": {"penalty": 10}, "axes": {"dcache_kw": [1, 2]}}
+        resp = client.submit(grid, scale="tiny", wait=False)
+        assert resp["_status"] in (200, 202)
+        job_id = resp["job_id"]
+        deadline = 240
+        import time
+
+        start = time.monotonic()
+        while True:
+            job = client.job(job_id)
+            if job["state"] in ("done", "failed"):
+                break
+            assert time.monotonic() - start < deadline
+            time.sleep(0.1)
+        assert job["state"] == "done"
+        assert job["result"]["point_count"] == 2
+
+    def test_event_stream_carries_progress(self, server, client):
+        grid = {"base": {"penalty": 12}, "axes": {"icache_kw": [1, 2]}}
+        resp = client.submit(grid, scale="tiny", wait=True)
+        events = client.wait_for_events(resp["job_id"])
+        kinds = [e["kind"] for e in events]
+        assert kinds[0] == "queued"
+        assert kinds[-1] == "done"
+        assert "span" in kinds
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs)
+        # Cursor resumption: re-stream from the middle.
+        tail = client.wait_for_events(resp["job_id"], after=seqs[1])
+        assert [e["seq"] for e in tail] == seqs[2:]
+
+    def test_unknown_job_404(self, server, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.job("no-such-job")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceError) as excinfo:
+            client.wait_for_events("no-such-job")
+        assert excinfo.value.status == 404
+
+    def test_invalid_grid_400(self, server, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({"axes": {"warp_core": [1]}}, scale="tiny")
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit([{"icache_kw": 3}], scale="tiny")
+        assert excinfo.value.status == 400
+
+    def test_invalid_scale_and_wait_400(self, server, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit([{}], scale="warp")
+        assert excinfo.value.status == 400
+        status, _ = _raw(
+            server,
+            "POST",
+            "/v1/sweeps",
+            body=json.dumps({"grid": [{}], "scale": "tiny", "wait": "yes"}).encode(),
+        )
+        assert status == 400
+
+    def test_responses_are_strict_json(self, server, client):
+        stats = client.stats()
+        json.dumps(stats, allow_nan=False)

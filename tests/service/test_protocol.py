@@ -1,0 +1,227 @@
+"""Query canonicalization: the digest contract behind service memoisation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import BranchScheme, LoadScheme, PenaltyMode, SystemConfig
+from repro.errors import ConfigurationError
+from repro.service.protocol import (
+    MAX_GRID_POINTS,
+    SweepQuery,
+    canonical_grid,
+    normalize_config,
+    parse_query,
+    result_payload,
+)
+
+
+def _q(grid, **extra):
+    return parse_query({"grid": grid, **extra}, scales={"quick": 1, "full": 2})
+
+
+class TestNormalizeConfig:
+    def test_defaults_fill_in(self):
+        assert normalize_config({}) == SystemConfig()
+
+    def test_int_float_spellings_agree(self):
+        a = normalize_config({"icache_kw": 8, "block_words": 4.0})
+        b = normalize_config({"icache_kw": 8.0, "block_words": 4})
+        assert a == b
+
+    def test_enum_accepts_string_spelling(self):
+        by_string = normalize_config({"branch_scheme": "btb"})
+        by_member = normalize_config({"branch_scheme": BranchScheme.BTB})
+        assert by_string == by_member
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown config field"):
+            normalize_config({"icache_kb": 8})
+
+    def test_bool_is_not_a_number(self):
+        with pytest.raises(ConfigurationError):
+            normalize_config({"icache_kw": True})
+        with pytest.raises(ConfigurationError):
+            normalize_config({"block_words": True})
+
+    def test_fractional_int_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="integral"):
+            normalize_config({"block_words": 4.5})
+
+    def test_bad_enum_lists_choices(self):
+        with pytest.raises(ConfigurationError, match="must be one of"):
+            normalize_config({"load_scheme": "psychic"})
+
+    def test_invalid_config_still_validated(self):
+        # SystemConfig's own validation (non-power-of-two size) applies.
+        with pytest.raises(ConfigurationError):
+            normalize_config({"icache_kw": 3})
+
+
+class TestCanonicalGrid:
+    def test_dedup_and_order_independent(self):
+        a = normalize_config({"icache_kw": 1})
+        b = normalize_config({"icache_kw": 2})
+        assert canonical_grid([b, a, b, a]) == canonical_grid([a, b])
+
+
+class TestParseQuery:
+    def test_axes_equals_explicit_list(self):
+        compact = _q({"base": {"penalty": 8}, "axes": {"icache_kw": [1, 2]}})
+        verbose = _q(
+            [
+                {"penalty": 8, "icache_kw": 2},
+                {"icache_kw": 1, "penalty": 8.0},
+            ]
+        )
+        assert compact.digest == verbose.digest
+
+    def test_tenant_not_in_digest(self):
+        grid = [{"icache_kw": 2}]
+        assert _q(grid, tenant="a").digest == _q(grid, tenant="b").digest
+
+    def test_scale_objective_in_digest(self):
+        grid = [{"icache_kw": 2}]
+        assert _q(grid, scale="quick").digest != _q(grid, scale="full").digest
+
+    def test_unknown_query_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown query field"):
+            _q([{}], grd=[{}])
+
+    def test_unknown_scale_and_objective_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown scale"):
+            _q([{}], scale="huge")
+        with pytest.raises(ConfigurationError, match="unknown objective"):
+            _q([{}], objective="max_cost")
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one point"):
+            _q([])
+        with pytest.raises(ConfigurationError, match="must not be empty"):
+            _q({"axes": {"icache_kw": []}})
+
+    def test_grid_point_ceiling(self):
+        with pytest.raises(ConfigurationError, match="caps one query"):
+            _q([{"penalty": float(2 * i)} for i in range(MAX_GRID_POINTS + 1)])
+        with pytest.raises(ConfigurationError, match="expands past"):
+            _q(
+                {
+                    "axes": {
+                        "icache_kw": [2**i for i in range(8)],
+                        "dcache_kw": [2**i for i in range(8)],
+                        "block_words": [2**i for i in range(7)],
+                        "penalty": list(range(1, 17)),
+                    }
+                }
+            )
+
+    def test_bad_tenant_rejected(self):
+        for bad in ("", "a/b", "x" * 65, 7):
+            with pytest.raises(ConfigurationError):
+                _q([{}], tenant=bad)
+
+    def test_result_payload_best_is_min_tpi(self):
+        from repro.core.optimizer import DesignPoint
+
+        query = _q([{"icache_kw": 1}, {"icache_kw": 2}])
+        points = [
+            DesignPoint(config=c, cpi=2.0 - i * 0.5, cycle_time_ns=2.0)
+            for i, c in enumerate(query.configs)
+        ]
+        payload = result_payload(query, points)
+        assert payload["point_count"] == 2
+        best = min(points, key=lambda p: p.tpi_ns)
+        assert payload["best"]["tpi_ns"] == pytest.approx(best.tpi_ns)
+
+
+# -- the digest property -------------------------------------------------------
+
+_SIZES = st.sampled_from([1, 2, 4, 8, 16])
+_BLOCKS = st.sampled_from([1, 2, 4, 8, 16])
+_SLOTS = st.integers(min_value=0, max_value=3)
+_PENALTY = st.integers(min_value=1, max_value=32)
+
+
+@st.composite
+def _grids(draw):
+    """A small canonical grid as plain param dicts."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    grid = []
+    for _ in range(n):
+        grid.append(
+            {
+                "icache_kw": draw(_SIZES),
+                "dcache_kw": draw(_SIZES),
+                "block_words": draw(_BLOCKS),
+                "branch_slots": draw(_SLOTS),
+                "load_slots": draw(_SLOTS),
+                "penalty": draw(_PENALTY),
+                "penalty_mode": draw(st.sampled_from(PenaltyMode)),
+                "branch_scheme": draw(st.sampled_from(BranchScheme)),
+                "load_scheme": draw(st.sampled_from(LoadScheme)),
+            }
+        )
+    return grid
+
+
+@st.composite
+def _spelled(draw, grid):
+    """One textual spelling of a grid: reorder, duplicate, respell values."""
+    entries = list(grid)
+    entries = draw(st.permutations(entries))
+    if draw(st.booleans()) and entries:
+        entries = entries + [draw(st.sampled_from(entries))]  # duplicate
+    spelled = []
+    for entry in entries:
+        params = {}
+        for name, value in entry.items():
+            if isinstance(value, (int, float)) and draw(st.booleans()):
+                # 8 vs 8.0 — int/float spellings of the same number
+                value = float(value) if isinstance(value, int) else value
+            if hasattr(value, "value") and draw(st.booleans()):
+                value = value.value  # enum member vs string spelling
+            if name == "block_words" and value == SystemConfig().block_words:
+                if draw(st.booleans()):
+                    continue  # explicit default vs omitted
+            params[name] = value
+        spelled.append(params)
+    return spelled
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_semantically_identical_grids_share_a_digest(data):
+    grid = data.draw(_grids())
+    first = data.draw(_spelled(grid))
+    second = data.draw(_spelled(grid))
+    scales = {"quick": 1}
+    qa = parse_query({"grid": first}, scales=scales)
+    qb = parse_query({"grid": second}, scales=scales)
+    assert qa.digest == qb.digest
+    assert qa.configs == qb.configs
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_distinct_grids_get_distinct_digests(data):
+    grid = data.draw(_grids())
+    query = parse_query({"grid": grid}, scales={"quick": 1})
+    # Any single-field perturbation that survives canonicalization must
+    # move the digest.
+    bumped = [dict(p) for p in grid]
+    bumped[0]["penalty"] = bumped[0]["penalty"] + 64
+    other = parse_query({"grid": bumped}, scales={"quick": 1})
+    assert other.digest != query.digest
+
+
+def test_digest_is_stable_across_processes():
+    """A digest is a pure function of the query (no per-process salt)."""
+    query = SweepQuery(
+        scale="quick",
+        configs=canonical_grid([normalize_config({"icache_kw": 2})]),
+    )
+    assert query.digest == SweepQuery(
+        scale="quick",
+        configs=canonical_grid([normalize_config({"icache_kw": 2.0})]),
+    ).digest
+    assert len(query.digest) == 24
