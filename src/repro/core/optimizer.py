@@ -24,22 +24,31 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.core.config import SystemConfig
 from repro.core.cpi_model import CpiModel
+from repro.core.frontier import (
+    objective_value,
+    pareto_frontier,
+    scalarized_best,
+    within_budgets,
+)
 from repro.core.measurement import SuiteMeasurement
 from repro.core.tcpu import system_cycle_time_ns
 from repro.core.tpi import tpi_ns
 from repro.engine.executor import SweepExecutor, evaluate_design_point
 from repro.errors import ConfigurationError
+from repro.physical.model import PhysicalModel
+from repro.physical.technology import DEFAULT_PHYSICAL, PhysicalTechnology
 from repro.timing.technology import DEFAULT_TECHNOLOGY, Technology
 from repro.trace.io import cache_key
 from repro.utils.units import kw_to_words
 
-__all__ = ["DesignPoint", "DesignOptimizer", "point_order_key"]
+__all__ = ["DesignPoint", "DesignOptimizer", "Selection", "point_order_key"]
 
 #: Per-side cache sizes the paper sweeps (KW).
 PAPER_SIDE_SIZES_KW = (1, 2, 4, 8, 16, 32)
 
 #: Bump when DesignPoint evaluation changes behaviour (cache invalidation).
-DESIGN_POINT_VERSION = 1
+#: 2: points carry epi_nj / area_cm2 from the physical macro-models.
+DESIGN_POINT_VERSION = 2
 
 
 def _config_params(config: SystemConfig) -> Dict[str, object]:
@@ -52,36 +61,76 @@ def _config_params(config: SystemConfig) -> Dict[str, object]:
 
 @dataclass(frozen=True)
 class DesignPoint:
-    """One evaluated configuration."""
+    """One evaluated configuration.
+
+    ``epi_nj`` and ``area_cm2`` come from the :mod:`repro.physical`
+    macro-models; points rehydrated from pre-physical records default
+    both to 0.0 (the records themselves are invalidated by
+    ``DESIGN_POINT_VERSION``, so this only matters for hand-built
+    points in tests).
+    """
 
     config: SystemConfig
     cpi: float
     cycle_time_ns: float
+    epi_nj: float = 0.0
+    area_cm2: float = 0.0
 
     @property
     def tpi_ns(self) -> float:
         return tpi_ns(self.cpi, self.cycle_time_ns)
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product per instruction (nJ x ns)."""
+        return self.tpi_ns * self.epi_nj
+
+    @property
+    def power_w(self) -> float:
+        """Average power (nJ/instr over ns/instr = W exactly)."""
+        return self.epi_nj / self.tpi_ns
 
 
 def point_order_key(point: DesignPoint) -> Tuple:
     """Total order for reporting the optimum of a sweep.
 
     Primary key is TPI; equal-TPI points are ordered by cycle time (a
-    faster clock wins), then combined L1 capacity (smaller wins), then
-    slot counts (fewer branch, then fewer load slots), then the I-side
-    split.  The order is a pure function of the point, so
-    :meth:`DesignOptimizer.best` reports the same optimum for resumed
+    faster clock wins), then energy per instruction and area (cooler,
+    then smaller, wins), then combined L1 capacity, slot counts (fewer
+    branch, then fewer load slots), and the I-side split.  The order is
+    a pure function of the point, so :meth:`DesignOptimizer.best` and
+    :meth:`DesignOptimizer.frontier` report the same result for resumed
     runs and reordered grids alike.
     """
     config = point.config
     return (
         point.tpi_ns,
         point.cycle_time_ns,
+        point.epi_nj,
+        point.area_cm2,
         config.combined_l1_kw,
         config.branch_slots,
         config.load_slots,
         config.icache_kw,
     )
+
+
+@dataclass(frozen=True)
+class Selection:
+    """Everything one scored pass over a design space yields.
+
+    Produced by :meth:`DesignOptimizer.select`: the scored points (input
+    order), the budget-feasible subset, its Pareto frontier, and the
+    objective's winner — all derived from a single sweep, so asking for
+    ``best`` *and* ``frontier`` costs one scoring pass, not two.
+    ``best`` is None only for the ``frontier`` objective.
+    """
+
+    objective: str
+    points: Tuple[DesignPoint, ...]
+    eligible: Tuple[DesignPoint, ...]
+    frontier: Tuple[DesignPoint, ...]
+    best: "DesignPoint | None"
 
 
 class DesignOptimizer:
@@ -106,20 +155,38 @@ class DesignOptimizer:
         tech: Technology = DEFAULT_TECHNOLOGY,
         executor: "SweepExecutor | None" = None,
         assoc_ways: Sequence[int] = (),
+        phys: PhysicalTechnology = DEFAULT_PHYSICAL,
     ) -> None:
         self.measurement = measurement
         self.model = CpiModel(measurement)
         self.tech = tech
+        self.phys = phys
+        self.physical = PhysicalModel(measurement, tech=tech, phys=phys)
         self.executor = executor if executor is not None else measurement.executor
         self.assoc_ways = tuple(assoc_ways)
         self.tracer = measurement.tracer
-        self._tech_digest = cache_key(**asdict(tech))
+        # Both parameter sets key the point cache: a different energy
+        # coefficient is a different design point, same as a different
+        # SRAM speed.  phys_* prefixes keep the namespaces disjoint.
+        self._tech_digest = cache_key(
+            **asdict(tech),
+            **{f"phys_{name}": value for name, value in asdict(phys).items()},
+        )
+        self._scored: "Tuple[Tuple, Tuple[DesignPoint, ...]] | None" = None
 
     def _evaluate_uncached(self, config: SystemConfig) -> DesignPoint:
         self.tracer.count("design_points")
         cycle = system_cycle_time_ns(config, self.tech)
         cpi = self.model.cpi(config, cycle_time_ns=cycle)
-        return DesignPoint(config=config, cpi=cpi, cycle_time_ns=cycle)
+        tpi = tpi_ns(cpi, cycle)
+        breakdown = self.physical.breakdown(config, tpi)
+        return DesignPoint(
+            config=config,
+            cpi=cpi,
+            cycle_time_ns=cycle,
+            epi_nj=breakdown.epi_nj,
+            area_cm2=breakdown.area_cm2,
+        )
 
     def evaluate(self, config: SystemConfig) -> DesignPoint:
         """TPI of a single design point (CPI x system cycle time)."""
@@ -198,7 +265,7 @@ class DesignOptimizer:
         try:
             points = self.executor.map(
                 evaluate_design_point,
-                [(spec, self.tech, config) for config in missing],
+                [(spec, self.tech, self.phys, config) for config in missing],
             )
         except ConfigurationError as exc:
             # The worker pool is persistently broken (repeated worker
@@ -287,15 +354,88 @@ class DesignOptimizer:
             for dsize in dcache_sizes_kw
         ]
 
+    def _scored_sweep(self, configs: Sequence[SystemConfig]) -> Tuple[DesignPoint, ...]:
+        """One scored pass per config set, shared across selections.
+
+        ``best(grid)`` followed by ``frontier(grid)`` (or any
+        :meth:`select` with a different objective over the same grid)
+        reuses the scored points instead of re-entering :meth:`sweep` —
+        the per-point store hits are cheap but not free, and a second
+        ``optimizer.sweep`` span would misreport the work done.
+        """
+        key = tuple(configs)
+        if self._scored is None or self._scored[0] != key:
+            self._scored = (key, tuple(self.sweep(configs)))
+        return self._scored[1]
+
+    def select(
+        self,
+        configs: Iterable[SystemConfig],
+        objective: str = "tpi",
+        weights: "Dict[str, float] | None" = None,
+        max_area_cm2: "float | None" = None,
+        max_power_w: "float | None" = None,
+    ) -> Selection:
+        """Score a design space once and select against ``objective``.
+
+        ``objective`` is one of ``tpi`` / ``epi`` / ``edp`` (scalar
+        minimization), ``frontier`` (the whole Pareto set; ``best`` is
+        None), or ``weighted`` with a ``weights`` mapping over
+        ``tpi`` / ``epi`` / ``area``.  Budgets filter the eligible set
+        before any selection; an empty feasible set is an error for
+        scalar objectives and an empty frontier otherwise.
+        """
+        points = self._scored_sweep(list(configs))
+        if not points:
+            raise ConfigurationError("cannot optimize over an empty design space")
+        eligible = tuple(
+            within_budgets(points, max_area_cm2=max_area_cm2, max_power_w=max_power_w)
+        )
+        if not eligible and objective != "frontier":
+            raise ConfigurationError(
+                "no design point satisfies the area/power budgets "
+                f"(max_area_cm2={max_area_cm2}, max_power_w={max_power_w})"
+            )
+        with self.tracer.span(
+            "optimizer.frontier", objective=objective
+        ) as span:
+            span.count("eligible", len(eligible))
+            frontier = tuple(pareto_frontier(eligible))
+            span.count("frontier", len(frontier))
+        if objective == "frontier":
+            best = None
+        elif objective == "weighted":
+            best = scalarized_best(eligible, weights or {})
+        else:
+            best = min(
+                eligible,
+                key=lambda point: (objective_value(point, objective), point_order_key(point)),
+            )
+        return Selection(
+            objective=objective,
+            points=points,
+            eligible=eligible,
+            frontier=frontier,
+            best=best,
+        )
+
+    def frontier(self, configs: Iterable[SystemConfig]) -> List[DesignPoint]:
+        """The exact Pareto-non-dominated set over (TPI, EPI, area).
+
+        Shares its scored pass with :meth:`best` via :meth:`select`, in
+        deterministic :func:`point_order_key` order.
+        """
+        return list(self.select(configs, objective="frontier").frontier)
+
     def best(self, configs: Iterable[SystemConfig]) -> DesignPoint:
         """The minimum-TPI point of a set.
 
         Ties are broken deterministically by :func:`point_order_key`
-        (cycle time, then combined capacity, then slot counts), so the
-        reported optimum is independent of grid order and of whether the
-        run was resumed.
+        (cycle time, then energy, area, combined capacity, slot counts),
+        so the reported optimum is independent of grid order and of
+        whether the run was resumed.
         """
-        points = self.sweep(configs)
+        points = self._scored_sweep(list(configs))
         if not points:
             raise ConfigurationError("cannot optimize over an empty design space")
         return min(points, key=point_order_key)

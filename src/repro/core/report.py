@@ -11,13 +11,13 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.cpi_model import CpiModel
-from repro.core.optimizer import DesignPoint
+from repro.core.optimizer import DesignPoint, point_order_key
 from repro.core.tcpu import side_cycle_times_ns
 from repro.errors import ConfigurationError
 from repro.timing.technology import DEFAULT_TECHNOLOGY, Technology
 from repro.utils.tables import render_table
 
-__all__ = ["design_point_report", "compare_design_points"]
+__all__ = ["design_point_report", "compare_design_points", "frontier_report"]
 
 
 def design_point_report(
@@ -84,4 +84,56 @@ def compare_design_points(points: Sequence[DesignPoint]) -> str:
         ["L1 split", "slots", "CPI", "t_CPU (ns)", "TPI (ns)", "vs best"],
         rows,
         title="Design-point comparison (best first)",
+    )
+
+
+def frontier_report(points: Sequence[DesignPoint]) -> str:
+    """The Pareto set over (TPI, EPI, area) as a designer-facing table.
+
+    ``points`` should already be a frontier (e.g. from
+    :meth:`~repro.core.optimizer.DesignOptimizer.frontier`); the rows
+    are re-sorted by :func:`~repro.core.optimizer.point_order_key` so
+    the rendering is deterministic whatever order the caller held them
+    in.  Each row flags which single objectives that point wins.
+    """
+    if not points:
+        raise ConfigurationError("nothing to report: empty frontier")
+    ordered = sorted(points, key=point_order_key)
+    winners = {
+        "tpi": min(ordered, key=lambda p: (p.tpi_ns, point_order_key(p))),
+        "epi": min(ordered, key=lambda p: (p.epi_nj, point_order_key(p))),
+        "edp": min(ordered, key=lambda p: (p.edp, point_order_key(p))),
+        "area": min(ordered, key=lambda p: (p.area_cm2, point_order_key(p))),
+    }
+    rows = []
+    for point in ordered:
+        config = point.config
+        best_for = " ".join(
+            sorted(name for name, winner in winners.items() if winner is point)
+        )
+        rows.append(
+            [
+                f"{config.icache_kw:g}I/{config.dcache_kw:g}D KW",
+                f"b={config.branch_slots} l={config.load_slots}",
+                round(point.tpi_ns, 2),
+                round(point.epi_nj, 2),
+                round(point.edp, 2),
+                round(point.area_cm2, 1),
+                round(point.power_w, 2),
+                best_for or "-",
+            ]
+        )
+    return render_table(
+        [
+            "L1 split",
+            "slots",
+            "TPI (ns)",
+            "EPI (nJ)",
+            "EDP",
+            "area (cm2)",
+            "power (W)",
+            "best for",
+        ],
+        rows,
+        title=f"Pareto frontier over (TPI, EPI, area) - {len(ordered)} points",
     )

@@ -355,14 +355,19 @@ def session_for_spec(spec: Any) -> Any:
     return session
 
 
-def evaluate_design_point(item: Tuple[Any, Any, Any]) -> Any:
-    """Worker task: evaluate one ``SystemConfig`` against a session spec."""
-    spec, tech, config = item
+def evaluate_design_point(item: Tuple[Any, Any, Any, Any]) -> Any:
+    """Worker task: evaluate one ``SystemConfig`` against a session spec.
+
+    The item carries the full pricing context — delay technology *and*
+    physical (energy/area) technology — so a worker's point is
+    bit-identical to the serial path's under any coefficient override.
+    """
+    spec, tech, phys, config = item
     from repro.core.optimizer import DesignOptimizer
 
     measurement = session_for_spec(spec)
     optimizer = DesignOptimizer(
-        measurement, tech=tech, executor=SweepExecutor(jobs=1)
+        measurement, tech=tech, executor=SweepExecutor(jobs=1), phys=phys
     )
     return optimizer.evaluate(config)
 

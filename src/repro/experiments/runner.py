@@ -12,6 +12,8 @@ Usage::
     repro-experiments --list             # show available experiment names
     repro-experiments --run-dir RUNS/a fig12     # durable (journaled) sweeps
     repro-experiments --run-dir RUNS/a --resume  # continue a killed run
+    repro-experiments optimize --objective frontier   # Pareto (TPI, EPI, area)
+    repro-experiments optimize --objective epi --max-area-cm2 40
 
 ``--run-dir DIR`` makes every design-space sweep durable: the grid is
 split into journaled shards (``--shard-size``), failed shards retry
@@ -44,6 +46,7 @@ from repro.experiments import (
     ext_associativity,
     ext_blocksize,
     ext_btb_size,
+    ext_energy,
     ext_l2,
     ext_quantum,
     fig3,
@@ -74,6 +77,7 @@ __all__ = [
     "ALL_EXPERIMENTS",
     "EXTENSION_EXPERIMENTS",
     "main",
+    "optimize_main",
     "run_experiments",
     "list_experiments",
     "jsonable",
@@ -112,6 +116,7 @@ EXTENSION_EXPERIMENTS: Dict[str, Callable] = {
     "ext_associativity": ext_associativity.run,
     "ext_blocksize": ext_blocksize.run,
     "ext_btb_size": ext_btb_size.run,
+    "ext_energy": ext_energy.run,
     "ext_l2": ext_l2.run,
     "ext_quantum": ext_quantum.run,
 }
@@ -244,6 +249,164 @@ def run_experiments(
     return results
 
 
+def optimize_main(argv: Optional[List[str]] = None) -> int:
+    """``runner optimize``: one design-space selection, any objective.
+
+    Scores the paper's symmetric grid (or the full asymmetric space) on
+    (TPI, EPI, area) and reports the named objective's winner — or, with
+    ``--objective frontier``, the whole Pareto-non-dominated set.
+    Budgets (``--max-area-cm2`` / ``--max-power-w``) filter the eligible
+    set first; ``--leakage-scale`` moves the energy optimum the way the
+    ``ext_energy`` study sweeps.
+    """
+    import dataclasses
+
+    from repro.core import SystemConfig, frontier_report
+    from repro.core.frontier import OBJECTIVES
+    from repro.core.optimizer import DesignOptimizer
+    from repro.physical import DEFAULT_PHYSICAL
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments optimize",
+        description="Multi-objective design selection over (TPI, EPI, area).",
+    )
+    parser.add_argument(
+        "--objective",
+        choices=OBJECTIVES,
+        default="tpi",
+        help="what to minimize, or 'frontier' for the whole Pareto set "
+        "(default: tpi)",
+    )
+    parser.add_argument(
+        "--max-area-cm2",
+        type=float,
+        default=None,
+        metavar="A",
+        help="only consider designs with total MCM area <= A",
+    )
+    parser.add_argument(
+        "--max-power-w",
+        type=float,
+        default=None,
+        metavar="P",
+        help="only consider designs with average power <= P watts",
+    )
+    parser.add_argument(
+        "--leakage-scale",
+        type=float,
+        default=1.0,
+        metavar="X",
+        help="multiplier on static power (default: 1.0)",
+    )
+    parser.add_argument(
+        "--asymmetric",
+        action="store_true",
+        help="sweep the full asymmetric I/D space instead of the "
+        "symmetric Figure 12 grid",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(EXPERIMENT_SCALES),
+        default=None,
+        help="trace scale (default: REPRO_SCALE env var or 'full')",
+    )
+    parser.add_argument("--jobs", type=int, default=1, metavar="N")
+    parser.add_argument(
+        "--metrics",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the run ledger (with its physical section) here",
+    )
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be at least 1, got {args.jobs}")
+    if args.leakage_scale < 0:
+        parser.error("--leakage-scale cannot be negative")
+    try:
+        measurement = get_measurement(args.scale, jobs=args.jobs)
+        observing = args.metrics is not None
+        tracer = Tracer() if observing else NULL_TRACER
+        previous_tracer = getattr(measurement, "tracer", NULL_TRACER)
+        if callable(getattr(measurement, "attach_tracer", None)):
+            measurement.attach_tracer(tracer)
+        try:
+            phys = dataclasses.replace(
+                DEFAULT_PHYSICAL, leakage_scale=args.leakage_scale
+            )
+            optimizer = DesignOptimizer(measurement, phys=phys)
+            base = SystemConfig()
+            grid = (
+                optimizer.asymmetric_grid(base)
+                if args.asymmetric
+                else optimizer.symmetric_grid(base)
+            )
+            selection = optimizer.select(
+                grid,
+                objective=args.objective,
+                max_area_cm2=args.max_area_cm2,
+                max_power_w=args.max_power_w,
+            )
+        finally:
+            if callable(getattr(measurement, "attach_tracer", None)):
+                measurement.attach_tracer(previous_tracer)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if selection.frontier:
+        print(frontier_report(selection.frontier))
+    best = selection.best
+    if best is not None:
+        config = best.config
+        print(
+            f"{args.objective}-optimal: L1-I {config.icache_kw:g} KW "
+            f"(b={config.branch_slots}), L1-D {config.dcache_kw:g} KW "
+            f"(l={config.load_slots}) -> TPI {best.tpi_ns:.2f} ns, "
+            f"EPI {best.epi_nj:.2f} nJ, EDP {best.edp:.2f}, "
+            f"area {best.area_cm2:.1f} cm2, power {best.power_w:.2f} W"
+        )
+    if args.metrics is not None:
+        ledger = RunLedger(tracer)
+        ledger.set_run_info(
+            scale=DEFAULT_REGISTRY.resolve_scale(args.scale),
+            command="optimize",
+        )
+        executor = getattr(measurement, "executor", None)
+        if executor is not None:
+            ledger.set_executor_info(
+                backend=executor.backend,
+                jobs=executor.jobs,
+                start_method=executor.start_method,
+            )
+        ledger.set_physical_info(
+            objective=args.objective,
+            leakage_scale=args.leakage_scale,
+            max_area_cm2=args.max_area_cm2,
+            max_power_w=args.max_power_w,
+            grid_points=len(selection.points),
+            eligible_points=len(selection.eligible),
+            frontier_points=len(selection.frontier),
+            **(
+                {
+                    "best_tpi_ns": best.tpi_ns,
+                    "best_epi_nj": best.epi_nj,
+                    "best_area_cm2": best.area_cm2,
+                    "best_power_w": best.power_w,
+                }
+                if best is not None
+                else {}
+            ),
+        )
+        store = getattr(measurement, "store", None)
+        if store is not None:
+            ledger.snapshot_store(store.stats())
+        ledger.write(args.metrics)
+        args.metrics.with_suffix(".txt").write_text(
+            ledger.render_summary() + "\n"
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -253,9 +416,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.service.__main__ import serve_main
 
         return serve_main(list(argv[1:]))
+    if argv and argv[0] == "optimize":
+        # `runner optimize ...` is the multi-objective selection CLI.
+        return optimize_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         description="Regenerate the paper's tables and figures "
-        "('serve' starts the sweep service; see `serve --help`)."
+        "('serve' starts the sweep service, 'optimize' runs a "
+        "multi-objective design selection; see `serve --help` / "
+        "`optimize --help`)."
     )
     parser.add_argument(
         "experiments",

@@ -145,6 +145,8 @@ def point_to_record(point: Any) -> Dict[str, Any]:
         "config": config_to_params(point.config),
         "cpi": point.cpi,
         "cycle_time_ns": point.cycle_time_ns,
+        "epi_nj": point.epi_nj,
+        "area_cm2": point.area_cm2,
     }
 
 
@@ -155,6 +157,8 @@ def point_from_record(record: Dict[str, Any]) -> Any:
         config=config_from_params(record["config"]),
         cpi=record["cpi"],
         cycle_time_ns=record["cycle_time_ns"],
+        epi_nj=record.get("epi_nj", 0.0),
+        area_cm2=record.get("area_cm2", 0.0),
     )
 
 
@@ -345,7 +349,9 @@ class JobRunner:
             measurement = optimizer.measurement
             spec = measurement.spec()
             executor.prime(spec.digest(), measurement)
-            items: List[Any] = [(spec, optimizer.tech, config) for config in shard]
+            items: List[Any] = [
+                (spec, optimizer.tech, optimizer.phys, config) for config in shard
+            ]
             fn: Callable[[Any], Any] = evaluate_design_point
             faults = self.config.faults
             if faults is not None and faults.wants_worker_exit(index, attempt):

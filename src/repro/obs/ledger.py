@@ -44,6 +44,7 @@ class RunLedger:
         self.experiments: List[Dict[str, Any]] = []
         self.store_stats: Dict[str, Any] = {}
         self.jobs_info: Dict[str, Any] = {}
+        self.physical_info: Dict[str, Any] = {}
 
     # -- recording -------------------------------------------------------------
 
@@ -71,6 +72,16 @@ class RunLedger:
         attached, so ledgers from plain runs are unchanged.
         """
         self.jobs_info.update(info)
+
+    def set_physical_info(self, **info: Any) -> None:
+        """Merge energy/area metadata (objective, budgets, frontier size,
+        the chosen point's EPI/area/power).
+
+        Like ``jobs``, the ``physical`` section is optional: it appears
+        only when a run scored the physical axes, so ledgers from plain
+        TPI runs are unchanged.
+        """
+        self.physical_info.update(info)
 
     def snapshot_store(self, stats: Any) -> None:
         """Record an :class:`~repro.engine.store.StoreStats` snapshot.
@@ -103,6 +114,8 @@ class RunLedger:
         }
         if self.jobs_info:
             payload["jobs"] = dict(self.jobs_info)
+        if self.physical_info:
+            payload["physical"] = dict(self.physical_info)
         return payload
 
     def write(self, path: Path) -> Path:
@@ -163,6 +176,17 @@ class RunLedger:
                         for key, value in sorted(self.jobs_info.items())
                     ],
                     title="durable run",
+                )
+            )
+        if self.physical_info:
+            sections.append(
+                render_table(
+                    ["key", "value"],
+                    [
+                        [key, _cell(value)]
+                        for key, value in sorted(self.physical_info.items())
+                    ],
+                    title="physical (energy / area)",
                 )
             )
         if self.tracer is not None and self.tracer.roots:

@@ -1,0 +1,44 @@
+"""Energy and area macro-models for the MCM cache system.
+
+The paper optimizes a single scalar — TPI — but a primary-cache design
+also spends energy and silicon: every access switches bitlines and MCM
+pins, every idle nanosecond leaks static power (GaAs DCFL logic draws
+ratioed static current, so "leakage" is first-class here, as it is in
+nanometer CMOS), and every SRAM chip occupies substrate real estate.
+This package prices those axes with the same macro-model style as
+:mod:`repro.timing`: documented coefficients, pure functions of the
+cache geometry, and a :class:`PhysicalModel` facade that turns a
+:class:`~repro.core.config.SystemConfig` plus the session's measured
+access/miss counts into energy-per-instruction and area.
+
+* :mod:`repro.physical.technology` — :class:`PhysicalTechnology`
+  coefficients (and the calibrated :data:`DEFAULT_PHYSICAL`);
+* :mod:`repro.physical.energy` — per-access dynamic read energy, refill
+  energy, and static (leakage) power as functions of (size, ways,
+  block);
+* :mod:`repro.physical.area` — per-side and whole-system MCM substrate
+  area, reusing the Figure 10 floorplan;
+* :mod:`repro.physical.model` — the :class:`PhysicalModel` facade and
+  its :class:`PhysicalBreakdown` (the EPI decomposition).
+"""
+
+from repro.physical.area import cache_area_cm2, system_area_cm2
+from repro.physical.energy import (
+    read_energy_nj,
+    refill_energy_nj,
+    static_power_w,
+)
+from repro.physical.model import PhysicalBreakdown, PhysicalModel
+from repro.physical.technology import DEFAULT_PHYSICAL, PhysicalTechnology
+
+__all__ = [
+    "PhysicalTechnology",
+    "DEFAULT_PHYSICAL",
+    "read_energy_nj",
+    "refill_energy_nj",
+    "static_power_w",
+    "cache_area_cm2",
+    "system_area_cm2",
+    "PhysicalBreakdown",
+    "PhysicalModel",
+]

@@ -1,0 +1,68 @@
+"""MCM substrate area macro-models.
+
+Area here is multichip-module real estate, not die area: each L1 side
+occupies the Figure 10 floorplan rectangle of its SRAM chips (the same
+:class:`~repro.timing.floorplan.Floorplan` whose longest wire feeds the
+delay model — one geometry, two prices), the CPU die takes a fixed
+allotment, and associativity adds a small way-multiplexer overhead per
+doubling.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # annotation-only: repro.core imports this package
+    from repro.core.config import SystemConfig
+
+from repro.errors import ConfigurationError
+from repro.physical.technology import DEFAULT_PHYSICAL, PhysicalTechnology
+from repro.timing.floorplan import Floorplan
+from repro.timing.sram import chips_for_cache
+from repro.timing.technology import DEFAULT_TECHNOLOGY, Technology
+
+__all__ = ["cache_area_cm2", "system_area_cm2"]
+
+
+def cache_area_cm2(
+    size_kw: float,
+    ways: int = 1,
+    tech: Technology = DEFAULT_TECHNOLOGY,
+    phys: PhysicalTechnology = DEFAULT_PHYSICAL,
+) -> float:
+    """Substrate area of one L1 side, in cm^2.
+
+    The Figure 10 rectangle of ``chips_for_cache(size_kw)`` SRAMs at
+    the technology's chip pitch, plus ``way_area_cm2`` per doubling of
+    associativity (the way multiplexers and the wider tag path).
+
+    >>> cache_area_cm2(1) < cache_area_cm2(32)
+    True
+    >>> cache_area_cm2(8, ways=4) > cache_area_cm2(8, ways=1)
+    True
+    """
+    if size_kw <= 0:
+        raise ConfigurationError("cache size must be positive")
+    if ways < 1:
+        raise ConfigurationError("associativity must be >= 1")
+    chips = chips_for_cache(size_kw, tech)
+    plan = Floorplan(chips=chips, pitch_cm=tech.chip_pitch_cm)
+    return plan.area_cm2 + phys.way_area_cm2 * math.log2(ways)
+
+
+def system_area_cm2(
+    config: "SystemConfig",
+    tech: Technology = DEFAULT_TECHNOLOGY,
+    phys: PhysicalTechnology = DEFAULT_PHYSICAL,
+) -> float:
+    """Whole-system MCM area: both L1 sides plus the CPU die, in cm^2.
+
+    A pure function of the configuration's geometry — no measurement
+    session involved — so the area axis of a design sweep is free.
+    """
+    return (
+        cache_area_cm2(config.icache_kw, tech=tech, phys=phys)
+        + cache_area_cm2(config.dcache_kw, tech=tech, phys=phys)
+        + phys.cpu_area_cm2
+    )

@@ -1,0 +1,96 @@
+"""Per-access, per-miss, and static energy macro-models.
+
+Pure functions of the cache geometry and the technology constants,
+mirroring :mod:`repro.timing.sram`: the delay model prices an access in
+nanoseconds, these price it in nanojoules.  Conveniently, ``1 W x 1 ns
+= 1 nJ``, so a static power in watts multiplied by a TPI in
+nanoseconds lands directly in nanojoules per instruction — the unit
+everything downstream (the optimizer's EPI axis) uses.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.physical.technology import DEFAULT_PHYSICAL, PhysicalTechnology
+from repro.timing.sram import chips_for_cache
+from repro.timing.technology import DEFAULT_TECHNOLOGY, Technology
+
+__all__ = ["read_energy_nj", "refill_energy_nj", "static_power_w"]
+
+
+def _check_geometry(size_kw: float, ways: int) -> None:
+    if size_kw <= 0:
+        raise ConfigurationError("cache size must be positive")
+    if ways < 1:
+        raise ConfigurationError("associativity must be >= 1")
+
+
+def read_energy_nj(
+    size_kw: float,
+    ways: int = 1,
+    tech: Technology = DEFAULT_TECHNOLOGY,
+    phys: PhysicalTechnology = DEFAULT_PHYSICAL,
+) -> float:
+    """Dynamic energy of one L1 access (hit or miss probe), in nJ.
+
+    ``e_base + e_array * sqrt(S * A) + e_tag * A + e_pin * n``: the
+    fixed decode/sense cost, the square-root array-switching law (an
+    ``A``-way access reads ``A`` data ways in parallel, so the silicon
+    switched grows with ``S * A``), one tag compare per way, and the
+    address broadcast onto all ``n`` SRAM chips of the MCM packaging
+    model (:func:`~repro.timing.sram.chips_for_cache`).
+
+    >>> round(read_energy_nj(8), 3)  # 8 KW direct-mapped: 9 chips
+    0.568
+    >>> read_energy_nj(8, ways=2) > read_energy_nj(8, ways=1)
+    True
+    """
+    _check_geometry(size_kw, ways)
+    chips = chips_for_cache(size_kw, tech)
+    return (
+        phys.e_access_base_nj
+        + phys.e_array_nj * math.sqrt(size_kw * ways)
+        + phys.e_tag_per_way_nj * ways
+        + phys.e_pin_nj * chips
+    )
+
+
+def refill_energy_nj(
+    block_words: int,
+    phys: PhysicalTechnology = DEFAULT_PHYSICAL,
+) -> float:
+    """Energy of one miss refill, in nJ.
+
+    A fixed next-level access plus one word's worth of MCM transfer +
+    array write per block word — larger blocks prefetch more but pay
+    linearly for it, the energy face of the block-size trade-off.
+
+    >>> refill_energy_nj(4) < refill_energy_nj(16)
+    True
+    """
+    if block_words < 1:
+        raise ConfigurationError("block size must be at least one word")
+    return phys.e_l2_access_nj + phys.e_refill_per_word_nj * block_words
+
+
+def static_power_w(
+    size_kw: float,
+    tech: Technology = DEFAULT_TECHNOLOGY,
+    phys: PhysicalTechnology = DEFAULT_PHYSICAL,
+) -> float:
+    """Static (leakage) power of one cache side, in watts.
+
+    DCFL ratioed logic draws a constant pull-up current per chip, so a
+    side leaks in proportion to its chip count regardless of activity —
+    scaled by :attr:`~repro.physical.technology.PhysicalTechnology.
+    leakage_scale`, the knob that emulates technologies with different
+    leakage shares.
+
+    >>> static_power_w(32) > static_power_w(1)
+    True
+    """
+    _check_geometry(size_kw, 1)
+    chips = chips_for_cache(size_kw, tech)
+    return phys.static_power_per_chip_w * phys.leakage_scale * chips

@@ -1,0 +1,102 @@
+"""Energy and area coefficients for the GaAs / MCM implementation.
+
+Like :mod:`repro.timing.technology`, none of these numbers is published
+outright by the paper; each is calibrated to sit in the physically
+plausible range for the early-1990s GaAs DCFL + multichip-module
+technology the delay models describe, and the *relationships* between
+them (what grows with capacity, what with associativity, what with chip
+count) are what the macro-models actually exercise:
+
+* **Dynamic read energy** follows the CACTI-style square-root law the
+  cache-hierarchy allocation literature uses (Yavits/Morad/Ginosar):
+  bitline and wordline lengths grow with the square root of the array
+  read in parallel, so a ``A``-way cache of ``S`` kilowords pays
+  ``e_array_nj * sqrt(S * A)`` per access, plus a tag compare per way
+  and an MCM pin-broadcast term proportional to the chip count of
+  equation 6's packaging model.
+* **Static power** is per-chip: DCFL is ratioed logic with a constant
+  pull-up current, so a chip leaks whether or not it is accessed —
+  the GaAs analogue of the total-leakage term Bai/Kim/Mudge make
+  first-class for nanometer CMOS.  :attr:`leakage_scale` is the
+  technology knob their study sweeps (leakage share rising across
+  process generations); scaling it scales every static term linearly.
+* **Area** is MCM substrate real estate: the Figure 10 floorplan
+  rectangle of each side's SRAM chips plus a fixed CPU die allotment
+  and a small way-multiplexer overhead per doubling of associativity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PhysicalTechnology", "DEFAULT_PHYSICAL"]
+
+
+@dataclass(frozen=True)
+class PhysicalTechnology:
+    """Energy and area parameters.
+
+    Attributes:
+        e_access_base_nj: Fixed per-access energy (decoder, wordline
+            drivers, sense amplifiers) independent of geometry.
+        e_array_nj: Array-switching energy coefficient; one access
+            costs ``e_array_nj * sqrt(size_kw * ways)`` on top of the
+            base (bitline length scales with the square root of the
+            silicon read in parallel).
+        e_tag_per_way_nj: Tag read + comparator energy per way probed
+            (a direct-mapped access probes one).
+        e_pin_nj: Off-chip driving energy per SRAM chip on the address
+            broadcast (every chip's attach capacitance hangs on the
+            shared address lines, so this term is proportional to the
+            chip count of :func:`~repro.timing.sram.chips_for_cache`).
+        e_refill_per_word_nj: Energy to move one word across the MCM
+            from the next level and write it into the array on a miss.
+        e_l2_access_nj: Fixed next-level access energy per miss
+            (initiation, tag check, row activation).
+        static_power_per_chip_w: Static (DCFL ratioed-logic) power of
+            one SRAM chip; a side leaks ``chips * this * leakage_scale``
+            watts continuously.
+        leakage_scale: Dimensionless multiplier on every static term —
+            the Bai/Kim/Mudge axis.  1.0 is the calibrated GaAs point;
+            sweeping it emulates technologies whose leakage share of
+            total energy differs.
+        cpu_area_cm2: Substrate area of the CPU die + its wiring
+            channels (one per system, not per side).
+        way_area_cm2: Substrate overhead per doubling of associativity
+            (way multiplexers + wider tag path).
+    """
+
+    e_access_base_nj: float = 0.35
+    e_array_nj: float = 0.04
+    e_tag_per_way_nj: float = 0.06
+    e_pin_nj: float = 0.005
+    e_refill_per_word_nj: float = 0.55
+    e_l2_access_nj: float = 150.0
+    static_power_per_chip_w: float = 0.008
+    leakage_scale: float = 1.0
+    cpu_area_cm2: float = 4.0
+    way_area_cm2: float = 0.35
+
+    def __post_init__(self) -> None:
+        for name in (
+            "e_access_base_nj",
+            "e_array_nj",
+            "e_tag_per_way_nj",
+            "e_pin_nj",
+            "e_refill_per_word_nj",
+            "e_l2_access_nj",
+            "static_power_per_chip_w",
+            "cpu_area_cm2",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if self.leakage_scale < 0:
+            raise ConfigurationError("leakage_scale cannot be negative")
+        if self.way_area_cm2 < 0:
+            raise ConfigurationError("way_area_cm2 cannot be negative")
+
+
+#: Calibrated default physical technology (see module docstring).
+DEFAULT_PHYSICAL = PhysicalTechnology()

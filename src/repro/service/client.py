@@ -90,19 +90,27 @@ class ServiceClient:
         objective: str = "min_tpi",
         tenant: str = "public",
         wait: bool = False,
+        max_area_cm2: "float | None" = None,
+        max_power_w: "float | None" = None,
     ) -> Dict[str, Any]:
-        """POST one sweep query; with ``wait`` the result rides back inline."""
-        return self._request(
-            "POST",
-            "/v1/sweeps",
-            body={
-                "grid": grid,
-                "scale": scale,
-                "objective": objective,
-                "tenant": tenant,
-                "wait": wait,
-            },
-        )
+        """POST one sweep query; with ``wait`` the result rides back inline.
+
+        ``objective`` accepts any server-side spelling (``tpi`` /
+        ``min_tpi`` / ``epi`` / ``edp`` / ``frontier`` / ``pareto``);
+        budgets constrain the answer's eligible set server-side.
+        """
+        body: Dict[str, Any] = {
+            "grid": grid,
+            "scale": scale,
+            "objective": objective,
+            "tenant": tenant,
+            "wait": wait,
+        }
+        if max_area_cm2 is not None:
+            body["max_area_cm2"] = max_area_cm2
+        if max_power_w is not None:
+            body["max_power_w"] = max_power_w
+        return self._request("POST", "/v1/sweeps", body=body)
 
     def job(self, job_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/v1/jobs/{job_id}")

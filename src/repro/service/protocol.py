@@ -30,9 +30,11 @@ from dataclasses import asdict, dataclass
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.config import BranchScheme, LoadScheme, PenaltyMode, SystemConfig
+from repro.core.frontier import objective_value, pareto_frontier, within_budgets
 from repro.core.optimizer import DESIGN_POINT_VERSION, point_order_key
 from repro.errors import ConfigurationError
 from repro.jobs.runner import config_to_params
+from repro.physical.technology import DEFAULT_PHYSICAL
 from repro.timing.technology import DEFAULT_TECHNOLOGY
 from repro.trace.io import cache_key
 from repro.utils.jsonio import jsonable
@@ -44,14 +46,47 @@ __all__ = [
     "parse_query",
     "normalize_config",
     "canonical_grid",
+    "canonical_objective",
     "result_payload",
 ]
 
 #: Bump when the service's answer payload changes shape (memo invalidation).
-SERVICE_SWEEP_VERSION = 1
+#: 2: points carry epi/area/edp/power, payloads carry the Pareto frontier,
+#: queries carry budgets and the multi-objective family.
+SERVICE_SWEEP_VERSION = 2
 
-#: Supported optimization objectives.
-OBJECTIVES = ("min_tpi",)
+#: Supported optimization objectives (canonical spellings).
+OBJECTIVES = ("min_tpi", "min_epi", "min_edp", "frontier")
+
+#: Accepted objective spellings -> canonical name.  Canonicalizing here
+#: (not just validating) is what makes ``"objective": "tpi"`` and
+#: ``"objective": "min_tpi"`` the *same query*, hence the same digest,
+#: hence one memoised sweep.
+_OBJECTIVE_ALIASES = {
+    "min_tpi": "min_tpi",
+    "tpi": "min_tpi",
+    "min_epi": "min_epi",
+    "epi": "min_epi",
+    "min_edp": "min_edp",
+    "edp": "min_edp",
+    "frontier": "frontier",
+    "pareto": "frontier",
+}
+
+#: The scalar each single-objective canonical name minimizes.
+_OBJECTIVE_SCALARS = {"min_tpi": "tpi", "min_epi": "epi", "min_edp": "edp"}
+
+
+def canonical_objective(objective: Any) -> str:
+    """An objective spelling -> its canonical name (or an error)."""
+    if isinstance(objective, str):
+        canonical = _OBJECTIVE_ALIASES.get(objective.lower())
+        if canonical is not None:
+            return canonical
+    raise ConfigurationError(
+        f"unknown objective {objective!r}; choose from {list(OBJECTIVES)} "
+        f"(aliases: {sorted(set(_OBJECTIVE_ALIASES) - set(OBJECTIVES))})"
+    )
 
 #: Upper bound on canonical grid size per query — a service request is a
 #: bounded unit of work, not an arbitrary batch job.
@@ -70,10 +105,14 @@ _ENUM_FIELDS: Dict[str, Any] = {
 _CONFIG_FIELDS = frozenset(_FLOAT_FIELDS + _INT_FIELDS) | frozenset(_ENUM_FIELDS)
 
 #: Technology digest baked into every query digest (the service always
-#: evaluates against the paper's default technology) — computed exactly
-#: the way :class:`~repro.core.optimizer.DesignOptimizer` keys its
-#: design-point artifacts, so the memo and the point cache agree.
-_TECH_DIGEST = cache_key(**asdict(DEFAULT_TECHNOLOGY))
+#: evaluates against the paper's default delay + physical technologies)
+#: — computed exactly the way :class:`~repro.core.optimizer.
+#: DesignOptimizer` keys its design-point artifacts, so the memo and the
+#: point cache agree.
+_TECH_DIGEST = cache_key(
+    **asdict(DEFAULT_TECHNOLOGY),
+    **{f"phys_{name}": value for name, value in asdict(DEFAULT_PHYSICAL).items()},
+)
 
 
 def _coerce_float(name: str, value: Any) -> float:
@@ -198,6 +237,8 @@ class SweepQuery:
     configs: Tuple[SystemConfig, ...]
     objective: str = "min_tpi"
     tenant: str = "public"
+    max_area_cm2: Optional[float] = None
+    max_power_w: Optional[float] = None
 
     @property
     def digest(self) -> str:
@@ -208,6 +249,7 @@ class SweepQuery:
             "tech": _TECH_DIGEST,
             "scale": self.scale,
             "objective": self.objective,
+            "budgets": [self.max_area_cm2, self.max_power_w],
             "configs": [config_to_params(config) for config in self.configs],
         }
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -242,7 +284,15 @@ def parse_query(
     """
     if not isinstance(payload, Mapping):
         raise ConfigurationError("query must be a JSON object")
-    known = {"scale", "grid", "objective", "tenant", "wait"}
+    known = {
+        "scale",
+        "grid",
+        "objective",
+        "tenant",
+        "wait",
+        "max_area_cm2",
+        "max_power_w",
+    }
     unknown = sorted(set(payload) - known)
     if unknown:
         raise ConfigurationError(
@@ -256,11 +306,17 @@ def parse_query(
         raise ConfigurationError(
             f"unknown scale {scale!r}; choose from {valid_scales}"
         )
-    objective = payload.get("objective", "min_tpi")
-    if objective not in OBJECTIVES:
-        raise ConfigurationError(
-            f"unknown objective {objective!r}; choose from {list(OBJECTIVES)}"
-        )
+    objective = canonical_objective(payload.get("objective", "min_tpi"))
+    budgets = {}
+    for name in ("max_area_cm2", "max_power_w"):
+        value = payload.get(name)
+        if value is None:
+            budgets[name] = None
+            continue
+        value = _coerce_float(name, value)
+        if value <= 0:
+            raise ConfigurationError(f"{name} must be positive, got {value}")
+        budgets[name] = value
     tenant = _check_tenant(payload.get("tenant", "public"))
     grid = payload.get("grid")
     if isinstance(grid, Mapping):
@@ -281,16 +337,23 @@ def parse_query(
         )
     configs = canonical_grid(normalize_config(entry) for entry in entries)
     return SweepQuery(
-        scale=scale, configs=configs, objective=objective, tenant=tenant
+        scale=scale,
+        configs=configs,
+        objective=objective,
+        tenant=tenant,
+        max_area_cm2=budgets["max_area_cm2"],
+        max_power_w=budgets["max_power_w"],
     )
 
 
 def result_payload(query: SweepQuery, points: Sequence[Any]) -> Dict[str, Any]:
-    """The JSON answer for a finished sweep: every point plus the best.
+    """The JSON answer for a finished sweep: points, frontier, and best.
 
     Point order follows the canonical grid order, so identical queries
     produce byte-identical payloads regardless of which client's
-    submission actually executed.
+    submission actually executed.  Budgets filter the eligible set
+    before both the frontier and the best; ``best`` is None for the
+    ``frontier`` objective and when no point fits the budgets.
     """
     rendered = [
         {
@@ -298,19 +361,38 @@ def result_payload(query: SweepQuery, points: Sequence[Any]) -> Dict[str, Any]:
             "cpi": point.cpi,
             "cycle_time_ns": point.cycle_time_ns,
             "tpi_ns": point.tpi_ns,
+            "epi_nj": point.epi_nj,
+            "area_cm2": point.area_cm2,
+            "edp": point.edp,
+            "power_w": point.power_w,
         }
         for point in points
     ]
-    best_index = None
-    if points:
-        best_index = min(range(len(points)), key=lambda i: point_order_key(points[i]))
+    index_of = {id(point): i for i, point in enumerate(points)}
+    eligible = within_budgets(
+        points, max_area_cm2=query.max_area_cm2, max_power_w=query.max_power_w
+    )
+    frontier = [rendered[index_of[id(point)]] for point in pareto_frontier(eligible)]
+    best = None
+    if eligible and query.objective != "frontier":
+        scalar = _OBJECTIVE_SCALARS[query.objective]
+        winner = min(
+            eligible,
+            key=lambda point: (objective_value(point, scalar), point_order_key(point)),
+        )
+        best = rendered[index_of[id(winner)]]
     return jsonable(
         {
             "digest": query.digest,
             "scale": query.scale,
             "objective": query.objective,
+            "max_area_cm2": query.max_area_cm2,
+            "max_power_w": query.max_power_w,
             "point_count": len(rendered),
+            "eligible_count": len(eligible),
             "points": rendered,
-            "best": rendered[best_index] if best_index is not None else None,
+            "frontier": frontier,
+            "frontier_count": len(frontier),
+            "best": best,
         }
     )

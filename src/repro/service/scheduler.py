@@ -60,6 +60,7 @@ PROGRESS_SPANS = frozenset(
         "jobs.run",
         "jobs.shard",
         "optimizer.sweep",
+        "optimizer.frontier",
         "optimizer.serial_fallback",
         "imiss.cube",
         "dmiss.cube",
@@ -406,7 +407,18 @@ class SweepScheduler:
                 session.attach_jobs(job_config)
             try:
                 optimizer = DesignOptimizer(session)
-                points = optimizer.sweep(list(job.query.configs))
+                # One scored pass serves every objective; selecting the
+                # frontier here (rather than just sweeping) publishes the
+                # optimizer.frontier span on the job's event stream and
+                # never errors on an over-constrained budget — the
+                # payload renders an empty feasible set instead.
+                selection = optimizer.select(
+                    list(job.query.configs),
+                    objective="frontier",
+                    max_area_cm2=job.query.max_area_cm2,
+                    max_power_w=job.query.max_power_w,
+                )
+                points = list(selection.points)
             finally:
                 session.attach_tracer(previous_tracer)
                 session.attach_jobs(previous_jobs)

@@ -188,6 +188,90 @@ class TestPointOrderKey:
         deep = self._point(2.0, 4.0, branch_slots=2, load_slots=1)
         assert point_order_key(shallow) < point_order_key(deep)
 
+    def _scored(self, epi, area, **config):
+        return DesignPoint(
+            config=SystemConfig(**config),
+            cpi=2.0,
+            cycle_time_ns=4.0,
+            epi_nj=epi,
+            area_cm2=area,
+        )
+
+    def test_equal_timing_prefers_lower_energy(self):
+        # Energy outranks area and geometry in the tie-break chain.
+        lean = self._scored(5.0, 9.0, icache_kw=16, dcache_kw=16)
+        hot = self._scored(6.0, 1.0, icache_kw=8, dcache_kw=8)
+        assert point_order_key(lean) < point_order_key(hot)
+
+    def test_equal_timing_and_energy_prefers_smaller_area(self):
+        small = self._scored(5.0, 8.0, icache_kw=16, dcache_kw=16)
+        big = self._scored(5.0, 9.0, icache_kw=8, dcache_kw=8)
+        assert point_order_key(small) < point_order_key(big)
+
+    def test_unscored_points_keep_the_geometry_order(self):
+        # Hand-built points (epi/area default 0.0) still sort totally.
+        small = self._point(2.0, 4.0, icache_kw=8, dcache_kw=8)
+        big = self._point(2.0, 4.0, icache_kw=16, dcache_kw=16)
+        assert point_order_key(small) < point_order_key(big)
+
+
+class TestSharedScoredPass:
+    def test_best_and_frontier_share_one_sweep(self, measurement):
+        tracer = Tracer()
+        previous = measurement.tracer
+        measurement.attach_tracer(tracer)
+        try:
+            optimizer = DesignOptimizer(measurement)
+            grid = optimizer.symmetric_grid(SystemConfig(penalty=10))
+            best = optimizer.best(grid)
+            frontier = optimizer.frontier(grid)
+            selection = optimizer.select(grid, objective="epi")
+        finally:
+            measurement.attach_tracer(previous)
+        sweeps = [s for s in tracer.to_list() if s["name"] == "optimizer.sweep"]
+        assert len(sweeps) == 1  # second and third queries reuse the pass
+        assert best in selection.points
+        assert all(p in selection.points for p in frontier)
+        assert min(selection.points, key=point_order_key) == best
+
+    def test_best_on_frontier_of_its_own_objective(self, measurement):
+        optimizer = DesignOptimizer(measurement)
+        grid = optimizer.symmetric_grid(SystemConfig(penalty=10))
+        best = optimizer.best(grid)
+        frontier_keys = {point_order_key(p) for p in optimizer.frontier(grid)}
+        assert point_order_key(best) in frontier_keys
+
+
+class TestParallelParity:
+    def test_jobs_do_not_change_scores(self):
+        # --jobs 1 vs --jobs 4 must hand back bit-identical points,
+        # including the physical axes the workers now carry home.
+        def tiny(**kwargs):
+            specs = [benchmark_by_name(name) for name in ("small", "yacc")]
+            return SuiteMeasurement(
+                specs=specs,
+                total_instructions=60_000,
+                min_benchmark_instructions=30_000,
+                use_disk_cache=False,
+                **kwargs,
+            )
+
+        def fingerprint(points):
+            return [
+                (p.config, p.cpi, p.cycle_time_ns, p.epi_nj, p.area_cm2)
+                for p in points
+            ]
+
+        serial = DesignOptimizer(tiny())
+        parallel = DesignOptimizer(tiny(executor=SweepExecutor(jobs=4)))
+        grid = serial.symmetric_grid(SystemConfig(penalty=10))
+        assert fingerprint(serial.sweep(grid)) == fingerprint(
+            parallel.sweep(list(grid))
+        )
+        assert [point_order_key(p) for p in serial.frontier(grid)] == [
+            point_order_key(p) for p in parallel.frontier(list(grid))
+        ]
+
 
 class _BrokenPoolExecutor(SweepExecutor):
     """Parallel-looking executor whose pool dies on design-point sweeps.

@@ -1,0 +1,53 @@
+"""Frontier benchmark CLI tests: equivalence gate, ledger, CLI guards."""
+
+import io
+
+import pytest
+
+from repro.engine.session import SessionRegistry
+from repro.errors import ConfigurationError
+from repro.experiments.bench_frontier import SCALAR_OBJECTIVES, main, run_benchmark
+from repro.obs.ledger import validate_metrics
+
+
+@pytest.fixture
+def registry(measurement):
+    registry = SessionRegistry()
+    registry.set("quick", measurement)
+    return registry
+
+
+class TestRunBenchmark:
+    def test_ledger_is_valid_and_records_speedup(self, registry, tmp_path):
+        stream = io.StringIO()
+        ledger = run_benchmark(
+            scale="quick", repeats=1, registry=registry, stream=stream
+        )
+        names = [entry["name"] for entry in ledger.experiments]
+        assert "shared:select" in names
+        assert "independent:per-objective" in names
+        info = ledger.run_info
+        assert info["benchmark"] == "frontier-shared-pass"
+        assert info["questions"] == len(SCALAR_OBJECTIVES) + 1
+        assert info["speedup"] > 0
+        assert info["frontier_points"] >= 1
+        assert info["grid_points"] >= info["frontier_points"]
+        assert "speedup=" in stream.getvalue()
+        path = ledger.write(tmp_path / "bench.json")
+        validate_metrics(ledger.load(path))
+
+    def test_rejects_bad_repeats(self, registry):
+        with pytest.raises(ConfigurationError, match="repeats"):
+            run_benchmark(scale="quick", repeats=0, registry=registry)
+
+
+class TestCli:
+    def test_rejects_bad_repeats(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--repeats", "0"])
+        assert "--repeats" in capsys.readouterr().err
+
+    def test_rejects_bad_scale(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--scale", "enormous"])
+        assert "--scale" in capsys.readouterr().err

@@ -81,3 +81,42 @@ class TestL2Extension:
     def test_l1_misses_shrink_with_l1_size(self, result):
         misses = [result.data[(kw, 256)]["l1_misses"] for kw in (1, 8, 32)]
         assert misses == sorted(misses, reverse=True)
+
+
+class TestEnergyExtension:
+    @pytest.fixture(scope="class")
+    def result(self, measurement):
+        from repro.experiments import ext_energy
+
+        return ext_energy.run(measurement)
+
+    def test_tpi_optimum_is_leakage_invariant(self, result):
+        kws = {result.data[f"{s:g}"]["tpi_best_kw"] for s in (0.25, 1.0, 4.0)}
+        assert len(kws) == 1
+
+    def test_energy_optimum_shrinks_with_leakage(self, result):
+        kws = [result.data[f"{s:g}"]["epi_best_kw"] for s in (0.25, 1.0, 4.0)]
+        assert kws == sorted(kws, reverse=True)
+        assert kws[-1] < kws[0]  # the strict drop at high leakage
+
+    def test_divergence_is_recorded(self, result):
+        divergence = result.data["divergence"]
+        assert divergence["diverges"] is True
+        assert (
+            divergence["epi_best_kw_high_leakage"] < divergence["tpi_best_kw"]
+        )
+
+    def test_tpi_best_pays_more_energy_as_leakage_grows(self, result):
+        epis = [result.data[f"{s:g}"]["tpi_best_epi_nj"] for s in (0.25, 1.0, 4.0)]
+        assert epis == sorted(epis)
+        assert epis[0] < epis[-1]
+
+    def test_static_share_grows_with_leakage(self, result):
+        # Compared at the endpoints only: each scale re-optimizes the
+        # geometry, so the share at the (moving) optimum need not be
+        # monotone in between.
+        shares = [
+            result.data[f"{s:g}"]["epi_best_static_fraction"]
+            for s in (0.25, 1.0, 4.0)
+        ]
+        assert 0.0 < shares[0] < shares[-1] < 1.0

@@ -295,3 +295,35 @@ class TestParallelExecutor:
         assert (run_dir / "fault-worker-exit-0").exists()
         assert config.stats.shard_retries == 0
         assert RunJournal.load(_journal_path(run_dir)).finished
+
+
+class TestPointRecords:
+    def test_physical_axes_round_trip(self):
+        from repro.core.optimizer import DesignPoint
+        from repro.jobs.runner import point_from_record, point_to_record
+
+        point = DesignPoint(
+            config=SystemConfig(icache_kw=8, dcache_kw=16, branch_slots=2),
+            cpi=1.75,
+            cycle_time_ns=4.25,
+            epi_nj=17.375,
+            area_cm2=32.0625,
+        )
+        rebuilt = point_from_record(point_to_record(point))
+        assert rebuilt == point
+        assert rebuilt.epi_nj == point.epi_nj
+        assert rebuilt.area_cm2 == point.area_cm2
+
+    def test_legacy_records_default_to_zero(self):
+        # Journals written before the physical axes existed still load.
+        from repro.jobs.runner import point_from_record, point_to_record
+
+        record = point_to_record(
+            DesignOptimizer(_session()).evaluate(SystemConfig(penalty=10))
+        )
+        del record["epi_nj"]
+        del record["area_cm2"]
+        legacy = point_from_record(record)
+        assert legacy.epi_nj == 0.0
+        assert legacy.area_cm2 == 0.0
+        assert legacy.cpi == record["cpi"]

@@ -108,3 +108,35 @@ class TestSummary:
 
     def test_empty_ledger_renders(self):
         assert RunLedger().render_summary() == ""
+
+
+class TestPhysicalSection:
+    def _ledger(self):
+        ledger = RunLedger()
+        ledger.record_experiment("optimize", 1.0)
+        ledger.set_physical_info(
+            objective="frontier",
+            leakage_scale=4.0,
+            grid_points=24,
+            eligible_points=20,
+            frontier_points=5,
+        )
+        return ledger
+
+    def test_optional_section_round_trips(self, tmp_path):
+        ledger = self._ledger()
+        payload = RunLedger.load(ledger.write(tmp_path / "metrics.json"))
+        assert payload["physical"]["objective"] == "frontier"
+        assert payload["physical"]["frontier_points"] == 5
+        validate_metrics(payload)
+
+    def test_absent_without_physical_info(self):
+        ledger = RunLedger()
+        ledger.record_experiment("fig12", 1.0)
+        assert "physical" not in ledger.to_dict()
+
+    def test_summary_renders_the_section(self):
+        text = self._ledger().render_summary()
+        assert "physical (energy / area)" in text
+        assert "leakage_scale" in text
+        assert "frontier_points" in text

@@ -1,0 +1,50 @@
+"""Area macro-models: floorplan reuse, way overhead, system totals."""
+
+import pytest
+
+from repro.core import SystemConfig
+from repro.errors import ConfigurationError
+from repro.physical import DEFAULT_PHYSICAL, cache_area_cm2, system_area_cm2
+from repro.timing.floorplan import Floorplan
+from repro.timing.sram import chips_for_cache
+from repro.timing.technology import DEFAULT_TECHNOLOGY
+
+
+class TestCacheArea:
+    def test_matches_the_delay_floorplan(self):
+        # The same Figure 10 rectangle the wire-delay model uses prices
+        # the area axis: one geometry, two costs.
+        for kw in (1, 8, 32):
+            chips = chips_for_cache(kw, DEFAULT_TECHNOLOGY)
+            plan = Floorplan(chips=chips, pitch_cm=DEFAULT_TECHNOLOGY.chip_pitch_cm)
+            assert cache_area_cm2(kw) == pytest.approx(plan.area_cm2)
+
+    def test_grows_with_capacity(self):
+        areas = [cache_area_cm2(kw) for kw in (1, 2, 4, 8, 16, 32)]
+        assert areas == sorted(areas)
+        assert areas[0] < areas[-1]
+
+    def test_way_overhead_per_doubling(self):
+        phys = DEFAULT_PHYSICAL
+        assert cache_area_cm2(8, ways=4) == pytest.approx(
+            cache_area_cm2(8, ways=1) + 2 * phys.way_area_cm2
+        )
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            cache_area_cm2(0)
+        with pytest.raises(ConfigurationError):
+            cache_area_cm2(8, ways=0)
+
+
+class TestSystemArea:
+    def test_sums_sides_and_cpu(self):
+        config = SystemConfig(icache_kw=8, dcache_kw=16)
+        assert system_area_cm2(config) == pytest.approx(
+            cache_area_cm2(8) + cache_area_cm2(16) + DEFAULT_PHYSICAL.cpu_area_cm2
+        )
+
+    def test_pure_function_of_geometry(self):
+        a = system_area_cm2(SystemConfig(icache_kw=4, dcache_kw=4, penalty=6))
+        b = system_area_cm2(SystemConfig(icache_kw=4, dcache_kw=4, penalty=18))
+        assert a == b

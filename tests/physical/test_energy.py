@@ -1,0 +1,93 @@
+"""Energy macro-models: scaling laws, units, validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physical import (
+    DEFAULT_PHYSICAL,
+    PhysicalTechnology,
+    read_energy_nj,
+    refill_energy_nj,
+    static_power_w,
+)
+from repro.timing.sram import chips_for_cache
+from repro.timing.technology import DEFAULT_TECHNOLOGY
+
+
+class TestReadEnergy:
+    def test_grows_with_capacity(self):
+        energies = [read_energy_nj(kw) for kw in (1, 2, 4, 8, 16, 32)]
+        assert energies == sorted(energies)
+        assert energies[0] < energies[-1]
+
+    def test_grows_with_associativity(self):
+        assert (
+            read_energy_nj(8, ways=1)
+            < read_energy_nj(8, ways=2)
+            < read_energy_nj(8, ways=4)
+        )
+
+    def test_decomposition_matches_coefficients(self):
+        phys = DEFAULT_PHYSICAL
+        chips = chips_for_cache(4, DEFAULT_TECHNOLOGY)
+        expected = (
+            phys.e_access_base_nj
+            + phys.e_array_nj * 2.0  # sqrt(4 * 1)
+            + phys.e_tag_per_way_nj
+            + phys.e_pin_nj * chips
+        )
+        assert read_energy_nj(4) == pytest.approx(expected)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            read_energy_nj(0)
+        with pytest.raises(ConfigurationError):
+            read_energy_nj(8, ways=0)
+
+
+class TestRefillEnergy:
+    def test_linear_in_block_words(self):
+        phys = DEFAULT_PHYSICAL
+        delta = refill_energy_nj(8) - refill_energy_nj(4)
+        assert delta == pytest.approx(4 * phys.e_refill_per_word_nj)
+
+    def test_fixed_next_level_cost(self):
+        assert refill_energy_nj(1) == pytest.approx(
+            DEFAULT_PHYSICAL.e_l2_access_nj + DEFAULT_PHYSICAL.e_refill_per_word_nj
+        )
+
+    def test_rejects_empty_block(self):
+        with pytest.raises(ConfigurationError):
+            refill_energy_nj(0)
+
+
+class TestStaticPower:
+    def test_proportional_to_chip_count(self):
+        phys = DEFAULT_PHYSICAL
+        for kw in (1, 8, 32):
+            chips = chips_for_cache(kw, DEFAULT_TECHNOLOGY)
+            assert static_power_w(kw) == pytest.approx(
+                phys.static_power_per_chip_w * chips
+            )
+
+    def test_leakage_scale_multiplies_linearly(self):
+        phys = PhysicalTechnology(leakage_scale=3.0)
+        assert static_power_w(8, phys=phys) == pytest.approx(
+            3.0 * static_power_w(8)
+        )
+
+    def test_zero_leakage_is_allowed(self):
+        phys = PhysicalTechnology(leakage_scale=0.0)
+        assert static_power_w(8, phys=phys) == 0.0
+
+
+class TestTechnologyValidation:
+    def test_rejects_nonpositive_energy(self):
+        with pytest.raises(ConfigurationError):
+            PhysicalTechnology(e_array_nj=0.0)
+        with pytest.raises(ConfigurationError):
+            PhysicalTechnology(e_l2_access_nj=-1.0)
+
+    def test_rejects_negative_leakage(self):
+        with pytest.raises(ConfigurationError):
+            PhysicalTechnology(leakage_scale=-0.5)

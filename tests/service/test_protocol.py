@@ -134,6 +134,107 @@ class TestParseQuery:
         assert payload["best"]["tpi_ns"] == pytest.approx(best.tpi_ns)
 
 
+class TestObjectivesAndBudgets:
+    def test_objective_aliases_share_a_digest(self):
+        # Memoisation contract: every spelling of the same question
+        # lands on the same cached answer.
+        grid = [{"icache_kw": 2}]
+        base = _q(grid, objective="min_tpi").digest
+        assert _q(grid, objective="tpi").digest == base
+        assert _q(grid, objective="TPI").digest == base
+        assert _q(grid).digest == base  # omitted objective defaults to min_tpi
+        assert (
+            _q(grid, objective="pareto").digest
+            == _q(grid, objective="frontier").digest
+        )
+        assert _q(grid, objective="edp").digest == _q(grid, objective="min_edp").digest
+
+    def test_distinct_objectives_get_distinct_digests(self):
+        grid = [{"icache_kw": 2}]
+        digests = {
+            _q(grid, objective=o).digest
+            for o in ("min_tpi", "min_epi", "min_edp", "frontier")
+        }
+        assert len(digests) == 4
+
+    def test_budgets_change_the_digest(self):
+        grid = [{"icache_kw": 2}]
+        free = _q(grid)
+        area = _q(grid, max_area_cm2=30.0)
+        power = _q(grid, max_power_w=5.0)
+        assert len({free.digest, area.digest, power.digest}) == 3
+        # 30 vs 30.0 are the same budget.
+        assert _q(grid, max_area_cm2=30).digest == area.digest
+
+    def test_nonpositive_budgets_rejected(self):
+        for field in ("max_area_cm2", "max_power_w"):
+            with pytest.raises(ConfigurationError, match="positive"):
+                _q([{}], **{field: 0})
+            with pytest.raises(ConfigurationError, match="positive"):
+                _q([{}], **{field: -2.5})
+
+    def _scored_points(self, query):
+        from repro.core.optimizer import DesignPoint
+
+        return [
+            DesignPoint(
+                config=c,
+                cpi=2.0 - i * 0.5,
+                cycle_time_ns=2.0,
+                epi_nj=10.0 + i,  # faster points burn more energy
+                area_cm2=20.0 + 10.0 * i,
+            )
+            for i, c in enumerate(query.configs)
+        ]
+
+    def test_payload_carries_physical_axes(self):
+        query = _q([{"icache_kw": 1}, {"icache_kw": 2}])
+        payload = result_payload(query, self._scored_points(query))
+        for point in payload["points"]:
+            assert point["edp"] == pytest.approx(point["tpi_ns"] * point["epi_nj"])
+            assert point["power_w"] == pytest.approx(
+                point["epi_nj"] / point["tpi_ns"]
+            )
+        assert {"epi_nj", "area_cm2"} <= set(payload["points"][0])
+
+    def test_frontier_objective_has_no_best(self):
+        query = _q([{"icache_kw": 1}, {"icache_kw": 2}], objective="frontier")
+        payload = result_payload(query, self._scored_points(query))
+        assert payload["best"] is None
+        # Fast-but-hot vs slow-but-lean: both survive the frontier.
+        assert payload["frontier_count"] == 2
+
+    def test_budget_filters_best_and_frontier(self):
+        query = _q(
+            [{"icache_kw": 1}, {"icache_kw": 2}],
+            objective="min_tpi",
+            max_area_cm2=25.0,
+        )
+        points = self._scored_points(query)
+        payload = result_payload(query, points)
+        assert payload["point_count"] == 2  # all points still reported
+        assert payload["eligible_count"] == 1
+        assert payload["frontier_count"] == 1
+        assert payload["best"]["area_cm2"] == pytest.approx(20.0)
+
+    def test_overconstrained_budget_yields_empty_answer(self):
+        query = _q([{"icache_kw": 1}], objective="min_epi", max_power_w=0.001)
+        payload = result_payload(query, self._scored_points(query))
+        assert payload["eligible_count"] == 0
+        assert payload["frontier"] == []
+        assert payload["best"] is None
+
+    def test_min_epi_best_differs_from_min_tpi(self):
+        grid = [{"icache_kw": 1}, {"icache_kw": 2}]
+        tpi_query = _q(grid, objective="min_tpi")
+        epi_query = _q(grid, objective="min_epi")
+        points = self._scored_points(tpi_query)
+        tpi_best = result_payload(tpi_query, points)["best"]
+        epi_best = result_payload(epi_query, points)["best"]
+        assert tpi_best["tpi_ns"] < epi_best["tpi_ns"]
+        assert epi_best["epi_nj"] < tpi_best["epi_nj"]
+
+
 # -- the digest property -------------------------------------------------------
 
 _SIZES = st.sampled_from([1, 2, 4, 8, 16])

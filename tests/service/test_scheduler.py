@@ -13,7 +13,7 @@ import types
 import pytest
 
 import repro.core.optimizer as optimizer_module
-from repro.core.optimizer import DesignPoint
+from repro.core.optimizer import DesignPoint, Selection
 from repro.engine.session import SessionRegistry
 from repro.engine.store import ArtifactStore
 from repro.errors import ConfigurationError
@@ -65,6 +65,16 @@ class _GatedOptimizer:
             DesignPoint(config=c, cpi=1.5 + 0.1 * i, cycle_time_ns=2.0)
             for i, c in enumerate(configs)
         ]
+
+    def select(self, configs, objective="tpi", **_budgets):
+        points = tuple(self.sweep(configs))
+        return Selection(
+            objective=objective,
+            points=points,
+            eligible=points,
+            frontier=points[:1],
+            best=None,
+        )
 
 
 @pytest.fixture
@@ -193,7 +203,7 @@ class TestFailure:
             def __init__(self, session):
                 pass
 
-            def sweep(self, configs):
+            def select(self, configs, **_kwargs):
                 raise RuntimeError("cube collapsed")
 
         monkeypatch.setattr(optimizer_module, "DesignOptimizer", _Exploding)

@@ -12,6 +12,8 @@ import repro.isa.disassembler
 import repro.isa.opcodes
 import repro.isa.registers
 import repro.core.tpi
+import repro.physical.area
+import repro.physical.energy
 import repro.timing.sram
 import repro.trace.dinero
 import repro.trace.io
@@ -29,6 +31,8 @@ MODULES = [
     repro.isa.opcodes,
     repro.isa.registers,
     repro.core.tpi,
+    repro.physical.area,
+    repro.physical.energy,
     repro.timing.sram,
     repro.trace.dinero,
     repro.trace.io,
