@@ -17,7 +17,12 @@ Two complementary simulators:
   over a byte-address stream answers the whole
   (block size x set count x ways) cube as a
   :class:`~repro.cache.misscube.MissCube`, sharing a single rank count
-  across every block size and set count.
+  across every block size and set count;
+* :mod:`~repro.cache.cubepart` — the set-partitioned out-of-core and
+  parallel driver over the same engine: partitions a byte-address
+  stream by coarse set index, reduces partitions independently (in
+  worker processes when an executor is supplied), and merges counts
+  bit-identical to the serial one-shot cube.
 
 :mod:`~repro.cache.refill` models the paper's miss penalties (a 2-cycle
 startup plus the block transfer at the memory system's refill rate), and
@@ -46,9 +51,14 @@ from repro.cache.stackdist import (
 from repro.cache.misscube import (
     MISS_CUBE_VERSION,
     MissCube,
+    ShiftedStreams,
     capacity_set_counts,
     miss_cube,
     miss_cube_from_addresses,
+)
+from repro.cache.cubepart import (
+    partitioned_miss_cube,
+    partitioned_miss_cube_from_addresses,
 )
 from repro.cache.hierarchy import CacheHierarchy
 
@@ -74,8 +84,11 @@ __all__ = [
     "capacity_associativity_misses",
     "MISS_CUBE_VERSION",
     "MissCube",
+    "ShiftedStreams",
     "capacity_set_counts",
     "miss_cube",
     "miss_cube_from_addresses",
+    "partitioned_miss_cube",
+    "partitioned_miss_cube_from_addresses",
     "CacheHierarchy",
 ]

@@ -43,7 +43,7 @@ direct_mapped_miss_sweep` when a cube artifact is built
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -61,6 +61,7 @@ from repro.utils.units import is_power_of_two, log2_int
 __all__ = [
     "MISS_CUBE_VERSION",
     "MissCube",
+    "ShiftedStreams",
     "miss_cube",
     "miss_cube_from_addresses",
     "capacity_set_counts",
@@ -188,6 +189,37 @@ class MissCube:
         return self.plane(block_words).capacity_misses(size_blocks, ways)
 
 
+class ShiftedStreams(Mapping):
+    """Lazy ``{block_words: block index stream}`` views of one address stream.
+
+    Block-size doubling is a right-shift of the shared byte-address
+    stream, so nothing needs materializing up front: each block size's
+    stream is derived on access and lives only as long as the caller
+    holds it.  Consumers that walk block sizes one at a time — the cube
+    engine does — therefore hold one shifted stream at a time instead of
+    one per block size, which is what lets a memory-mapped address
+    bundle flow through :func:`miss_cube_from_addresses` without the
+    eager per-block copies piling up.
+    """
+
+    def __init__(
+        self, addresses: np.ndarray, block_words: Sequence[int]
+    ) -> None:
+        self._addresses = addresses
+        self._blocks = checked_block_words(block_words)
+
+    def __getitem__(self, block_words: int) -> np.ndarray:
+        if block_words not in self._blocks:
+            raise KeyError(block_words)
+        return addresses_to_blocks(self._addresses, block_words)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._blocks)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+
 def _normalized_set_counts(
     blocks: Tuple[int, ...], set_counts: SetCounts
 ) -> Dict[int, Sequence[int]]:
@@ -254,6 +286,10 @@ def miss_cube(
         np.not_equal(stream[1:], stream[:-1], out=keep[1:])
         deduped = stream[keep]
         removed_runs[B] = len(stream) - len(deduped)
+        # Drop the (possibly lazily shifted) source before the next
+        # block size: with ShiftedStreams inputs this caps the engine at
+        # one materialized full-length stream at a time.
+        del stream, keep
         wanted = sorted(set(by_sets.values()))
         slices = _stream_slices(deduped, wanted)
         for level in wanted:
@@ -281,8 +317,11 @@ def miss_cube_from_addresses(
 
     ``addresses_to_blocks`` hoisted into the engine: block-size doubling
     is one right-shift of the shared address stream, so the whole cube
-    comes from a single pass over one stream.
+    comes from a single pass over one stream.  ``addresses`` may be a
+    memory-mapped bundle view — the shifted streams are derived lazily
+    (:class:`ShiftedStreams`), one block size at a time, so nothing ever
+    copies the whole stream per block size.
     """
-    blocks = checked_block_words(block_words)
-    streams = {B: addresses_to_blocks(addresses, B) for B in blocks}
-    return miss_cube(streams, set_counts, max_ways)
+    return miss_cube(
+        ShiftedStreams(addresses, block_words), set_counts, max_ways
+    )

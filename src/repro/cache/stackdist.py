@@ -61,7 +61,7 @@ property-based tests; the ``A = 1`` column is additionally pinned to
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -146,22 +146,23 @@ def _rank_counts(rank: np.ndarray) -> np.ndarray:
     Sentinels pad positions n..P-1 with ranks above every real rank, so
     a sentinel never precedes a real element in rank order and never
     contributes to a real count.  Three packed fields need
-    ``3 * ceil(log2 n) <= 63``; beyond that (n > 2^21) the scatter-based
-    tree :func:`_rank_counts_scatter` takes over.
+    ``3 * ceil(log2 n) <= 63``; beyond that (n > 2^21) the value-range
+    splitter :func:`_rank_counts_split` takes over, cutting the problem
+    into packable pieces with one cumsum per cut.
     """
     n = len(rank)
     if n < 2:
         return np.zeros(n, dtype=np.int64)
     compiled = kernels.active_rank_kernel()
     if compiled is not None:
-        # Compiled Fenwick pass (REPRO_KERNEL=numba): exact integer
+        # Compiled Fenwick pass (numba, when importable): exact integer
         # counts, bit-identical to the merge trees below.
         out = np.empty(n, dtype=np.int64)
         tree = np.zeros(n + 1, dtype=np.int64)
         return compiled(np.ascontiguousarray(rank, dtype=np.int64), out, tree)
     nbits = int(n - 1).bit_length()
     if 3 * nbits > 63:
-        return _rank_counts_scatter(rank)
+        return _rank_counts_split(rank)
     padded = 1 << nbits
     field = padded - 1
     ranks = np.empty(padded, dtype=np.int32)
@@ -262,6 +263,51 @@ def _rank_counts_scatter(rank: np.ndarray) -> np.ndarray:
     return counts[:n].astype(np.int64, copy=False)
 
 
+def _rank_counts_split(rank: np.ndarray) -> np.ndarray:
+    """Rank counts for streams too long to pack three int64 fields.
+
+    Splits on the *value* midpoint instead of walking position bits: for
+    a cut at ``mid``, every pair with the smaller value below the cut and
+    the larger value above it is counted by one cumsum (left-half
+    elements positionally before each right-half element), and the two
+    halves — each positionally stable, with disjoint value ranges — are
+    independent subproblems.  Ranks are unique, so each cut at least
+    halves the value span and every piece reaches the packed merge tree
+    of :func:`_rank_counts` within ``log2(n) - 21`` cuts, keeping the
+    whole computation on the no-scatter fast path: O(n) work per cut
+    plus the packed tree per piece, against the scatter tree's
+    ``log2(n)`` full-stream scatter levels.
+    """
+    n = len(rank)
+    out = np.zeros(n, dtype=np.int64)
+    idtype = np.int32 if n <= (1 << 31) - 1 else np.int64
+    span = 1 << int(n - 1).bit_length()
+    stack = [(rank.astype(idtype, copy=False), np.arange(n, dtype=idtype), 0, span)]
+    while stack:
+        vals, idx, lo, hi = stack.pop()
+        m = len(vals)
+        if m < 2:
+            continue
+        if 3 * int(m - 1).bit_length() <= 63:
+            # Packable piece: compact the surviving values to a dense
+            # local permutation (order is preserved, so counts are the
+            # piece's exact pair counts).
+            order = np.argsort(vals, kind="stable")
+            local = np.empty(m, dtype=np.int64)
+            local[order] = np.arange(m, dtype=np.int64)
+            out[idx] += _rank_counts(local)
+            continue
+        mid = (lo + hi) >> 1
+        right = vals >= mid
+        left = ~right
+        # Every left-half element positionally before a right-half one
+        # has both the smaller position and the smaller value.
+        out[idx[right]] += np.cumsum(left, dtype=np.int64)[right]
+        stack.append((vals[right], idx[right], mid, hi))
+        stack.append((vals[left], idx[left], lo, mid))
+    return out
+
+
 def _partition_bit(
     cur: np.ndarray,
     idx: np.ndarray,
@@ -300,9 +346,20 @@ class _LevelSlice:
     count (firsts included — the level's position-coordinate range),
     ``num_firsts`` the first-reference count and ``removed`` the in-set
     repeats dropped by run compression (stack distance exactly 1).
+    ``seg_starts`` (compressed positions where a new set's segment
+    begins, harvested only for slices past the packed limit) lets
+    :func:`_split_slice` cut the slice at set boundaries.
     """
 
-    __slots__ = ("level", "prev", "firsts_before", "compressed", "num_firsts", "removed")
+    __slots__ = (
+        "level",
+        "prev",
+        "firsts_before",
+        "compressed",
+        "num_firsts",
+        "removed",
+        "seg_starts",
+    )
 
     def __init__(
         self,
@@ -312,6 +369,7 @@ class _LevelSlice:
         compressed: int,
         num_firsts: int,
         removed: int,
+        seg_starts: Optional[np.ndarray] = None,
     ) -> None:
         self.level = level
         self.prev = prev
@@ -319,6 +377,7 @@ class _LevelSlice:
         self.compressed = compressed
         self.num_firsts = num_firsts
         self.removed = removed
+        self.seg_starts = seg_starts
 
 
 def _harvest_level(
@@ -355,6 +414,15 @@ def _harvest_level(
     prev = gmap[prev_time[has_prev]]
     firsts_before = np.cumsum(~has_prev, dtype=np.int32)[has_prev]
     compressed = len(cidx)
+    seg_starts = None
+    if level > 0 and len(prev) > _PACKED_LIMIT:
+        # Oversized slice: record where each set's segment starts (the
+        # key's low ``level`` bits are the set index) so the rank count
+        # can be cut at set boundaries instead of spilling into the
+        # slow unpacked path.
+        sets = cur[keep] & ((1 << level) - 1)
+        seg_starts = np.flatnonzero(sets[1:] != sets[:-1]) + 1
+        seg_starts = np.concatenate((np.zeros(1, dtype=seg_starts.dtype), seg_starts))
     return _LevelSlice(
         level,
         prev,
@@ -362,6 +430,7 @@ def _harvest_level(
         compressed,
         compressed - len(prev),
         n - compressed,
+        seg_starts,
     )
 
 
@@ -440,10 +509,60 @@ def stack_distance_hits(
 
 #: Largest concatenation the packed merge tree of :func:`_rank_counts`
 #: accepts (three ``ceil(log2 n)``-bit fields in one int64).  Beyond it
-#: the slower scatter tree takes over, so the concatenation is chunked
-#: at slice boundaries to stay packed — slices are mutually independent
-#: (cross-slice pairs cancel), so chunking never changes a count.
+#: the concatenation is chunked at slice — and, within oversized
+#: slices, at set-segment — boundaries to stay packed; the independence
+#: argument below makes any such grouping exact, so chunking is purely
+#: a speed choice.
 _PACKED_LIMIT = 1 << 21
+
+
+def _split_slice(s: _LevelSlice, limit: int) -> List[_LevelSlice]:
+    """Cut an oversized slice at set-segment boundaries.
+
+    A non-first element's previous position lies in the *same* set
+    segment as the element itself (everything between them in the
+    grouped layout shares its set), so slicing the element array
+    wherever a new segment starts yields self-contained pseudo-slices:
+    positions rebase by the group's first segment start, and the firsts
+    running count rebases by the firsts before that start (``start - a``
+    — of the ``start`` survivors before it, ``a`` are the non-firsts
+    already emitted).  The pieces rejoin :func:`_concatenated_hits` as
+    independent slices whose histograms sum to the original's; run
+    removals stay with the caller.  A single segment larger than
+    ``limit`` stays whole — :func:`_rank_counts_split` handles it.
+    """
+    segs = s.seg_starts
+    if segs is None or len(segs) < 2 or len(s.prev) <= limit:
+        return [s]
+    element_seg = np.searchsorted(segs, s.prev, side="right") - 1
+    counts = np.bincount(element_seg, minlength=len(segs))
+    group_lo: List[int] = [0]
+    acc = 0
+    for k, c in enumerate(counts):
+        if acc and acc + c > limit:
+            group_lo.append(k)
+            acc = 0
+        acc += int(c)
+    if len(group_lo) == 1:
+        return [s]
+    bounds = group_lo + [len(segs)]
+    cuts = np.searchsorted(element_seg, bounds, side="left")
+    pieces: List[_LevelSlice] = []
+    for g in range(len(group_lo)):
+        a, b = int(cuts[g]), int(cuts[g + 1])
+        start = int(segs[bounds[g]])
+        end = int(segs[bounds[g + 1]]) if bounds[g + 1] < len(segs) else s.compressed
+        pieces.append(
+            _LevelSlice(
+                s.level,
+                s.prev[a:b] - start,
+                s.firsts_before[a:b] - (start - a),
+                end - start,
+                (end - start) - (b - a),
+                0,
+            )
+        )
+    return pieces
 
 
 def _concatenated_hits(
@@ -452,30 +571,46 @@ def _concatenated_hits(
     """Shared rank counts over every slice's compressed stream.
 
     Slices are laid end to end and share a rank count per chunk; chunks
-    are cut at slice boundaries so each stays within
-    :data:`_PACKED_LIMIT`, keeping the packed (no-scatter) merge tree —
-    the independence argument below makes any grouping of whole slices
-    exact, so chunking is purely a speed choice.  Returns the cumulative
-    hit counts per slice, in input order.
+    are cut at slice boundaries — oversized slices are first cut at
+    set-segment boundaries by :func:`_split_slice` — so each chunk
+    stays within :data:`_PACKED_LIMIT` and on the packed (no-scatter)
+    merge tree whenever the stream's structure allows.  Returns the
+    cumulative hit counts per slice, in input order, with each slice's
+    run-compression removals added back at every ``ways >= 1``.
     """
-    hits_list: List[np.ndarray] = []
-    chunk: List[_LevelSlice] = []
+    limit = _PACKED_LIMIT
+    pieces: List[Tuple[int, _LevelSlice]] = []
+    for ordinal, s in enumerate(slices):
+        for piece in _split_slice(s, limit):
+            pieces.append((ordinal, piece))
+    histograms = np.zeros((len(slices), max_ways + 2), dtype=np.int64)
+    chunk: List[Tuple[int, _LevelSlice]] = []
     chunk_len = 0
-    for s in slices:
-        m = len(s.prev)
-        if chunk and chunk_len + m > _PACKED_LIMIT:
-            hits_list.extend(_chunk_hits(chunk, max_ways))
+
+    def flush() -> None:
+        for (ordinal, _), hist in zip(chunk, _chunk_histograms([p for _, p in chunk], max_ways)):
+            histograms[ordinal] += hist
+
+    for ordinal, piece in pieces:
+        m = len(piece.prev)
+        if chunk and chunk_len + m > limit:
+            flush()
             chunk, chunk_len = [], 0
-        chunk.append(s)
+        chunk.append((ordinal, piece))
         chunk_len += m
     if chunk:
-        hits_list.extend(_chunk_hits(chunk, max_ways))
+        flush()
+    hits_list: List[np.ndarray] = []
+    for ordinal, s in enumerate(slices):
+        hits = np.cumsum(histograms[ordinal])[: max_ways + 1]
+        hits[1:] += s.removed  # dropped in-set repeats: distance exactly 1
+        hits_list.append(hits)
     return hits_list
 
 
-def _chunk_hits(
+def _chunk_histograms(
     slices: Sequence[_LevelSlice], max_ways: int
-) -> List[np.ndarray]:
+) -> np.ndarray:
     """One shared rank count over every slice's compressed stream.
 
     The per-slice ``p`` arrays (non-firsts only) are laid end to end
@@ -493,9 +628,11 @@ def _chunk_hits(
     slice counts exactly when it is positionally earlier (the
     per-element ``firsts_before`` cumsum from the harvest).  With firsts
     out, the remaining values are globally unique — the counting-sort
-    rank needs no tie-breaking.  Returns the cumulative hit counts per
-    slice, in input order, with each slice's run-compression removals
-    already added back at every ``ways >= 1``.
+    rank needs no tie-breaking.  Returns the raw per-slice distance
+    histograms (``max_ways + 2`` bins, distances clipped at
+    ``max_ways + 1``), in input order; the caller turns them into
+    cumulative hits and restores run-compression removals — histograms
+    are additive, so pieces of a split slice simply sum.
     """
     total = sum(len(s.prev) for s in slices)
     span_total = sum(s.compressed for s in slices)
@@ -532,15 +669,9 @@ def _chunk_hits(
     hist_key = level_of
     hist_key *= max_ways + 2
     hist_key += distance
-    histogram = np.bincount(
+    return np.bincount(
         hist_key, minlength=len(slices) * (max_ways + 2)
     ).reshape(len(slices), max_ways + 2)
-    hits_list: List[np.ndarray] = []
-    for ordinal, s in enumerate(slices):
-        hits = np.cumsum(histogram[ordinal])[: max_ways + 1]
-        hits[1:] += s.removed  # dropped in-set repeats: distance exactly 1
-        hits_list.append(hits)
-    return hits_list
 
 
 @dataclass(frozen=True)

@@ -46,11 +46,16 @@ from repro.sched import (
     branch_delay_stats,
     expand_istream,
 )
+from repro.cache.cubepart import (
+    partitioned_miss_cube,
+    partitioned_miss_cube_from_addresses,
+)
 from repro.cache.fastsim import addresses_to_blocks, direct_mapped_miss_sweep
 from repro.cache.geometry import checked_block_words, checked_ways, derived_sets
 from repro.cache.misscube import (
     MISS_CUBE_VERSION,
     MissCube,
+    ShiftedStreams,
     capacity_set_counts,
     miss_cube,
 )
@@ -60,6 +65,7 @@ from repro.trace.compiled import CompiledProgram
 from repro.trace.multiprogram import (
     address_space_offset,
     interleave_chunks,
+    iter_interleaved,
     multiprogram_quanta,
 )
 from repro.utils.rng import DEFAULT_SEED
@@ -198,6 +204,12 @@ class SuiteMeasurement:
         #: optimizer sweeps over this session journal their shards into
         #: the configured run directory and become resumable.
         self.job_config = None
+        #: Worker count for miss-cube builds (:meth:`attach_cube_jobs`).
+        #: At 1 the serial single-pass engine runs; above 1, cubes are
+        #: built by the set-partitioned parallel engine
+        #: (:mod:`repro.cache.cubepart`) — bit-identical counts, same
+        #: artifacts, bounded per-worker memory.
+        self.cube_jobs = 1
         #: Cube routing hints: ``(side, slots, block_words) -> key params``
         #: of an already-built cube covering that block size, so later
         #: single-block requests become store hits on the covering cube
@@ -218,6 +230,23 @@ class SuiteMeasurement:
         """Point this session (and its executor) at an observability tracer."""
         self.tracer = tracer
         self.executor.tracer = tracer
+
+    def attach_cube_jobs(self, jobs: Optional[int]) -> None:
+        """Build miss cubes with the set-partitioned parallel engine.
+
+        ``jobs > 1`` routes cube builds through
+        :mod:`repro.cache.cubepart` with a process executor of that
+        width; the merged counts are bit-identical to the serial
+        single-pass engine, so the cached ``imiss_cube``/``dmiss_cube``
+        artifacts are unchanged.  ``None`` or 1 restores the serial
+        build.
+        """
+        jobs = int(jobs) if jobs is not None else 1
+        if jobs < 1:
+            raise ConfigurationError(
+                f"cube jobs must be at least 1, got {jobs}"
+            )
+        self.cube_jobs = jobs
 
     def attach_jobs(self, job_config) -> None:
         """Make sweeps over this session durable (None detaches).
@@ -552,6 +581,51 @@ class SuiteMeasurement:
 
         return self.store.get_or_create("dstream_addr", GENERATOR_VERSION, build)
 
+    def dstream_address_bundle(self) -> np.ndarray:
+        """The multiprogrammed data addresses as a disk-backed bundle view.
+
+        Bit-identical to :meth:`dstream_addresses` — the same one-shot
+        per-benchmark expansion (chunked generation would change the
+        models' draw order) and the same quantum schedule, emitted
+        quantum by quantum through :meth:`~repro.engine.store.
+        ArtifactStore.get_or_stream`.  With the disk tier on, the value
+        is a *memory-mapped* view of the finished bundle: paper-scale
+        analyses (the partitioned cube engine, the bench harness) read
+        it through the page cache instead of holding a heap copy, and
+        repeat sessions map it straight back without re-expanding.
+        """
+
+        def produce(writer) -> None:
+            with self.tracer.span("dstream.expand", streamed=1):
+                sequences = []
+                for bench in self.benchmarks:
+                    refs = (
+                        bench.trace.category_counts["loads"]
+                        + bench.trace.category_counts["stores"]
+                    )
+                    model = DataReferenceModel(bench.spec, seed=self.seed)
+                    sequences.append(
+                        model.generate(refs) + address_space_offset(bench.index)
+                    )
+                quanta = multiprogram_quanta(
+                    [len(s) for s in sequences], self.switches
+                )
+                writer.append("addresses", np.empty(0, dtype=np.int64))
+                for piece in iter_interleaved(sequences, quanta):
+                    writer.append("addresses", piece)
+
+        # Streamed artifacts always persist; unlike the in-memory
+        # ``dstream_addr`` (private to this session's store), the bundle
+        # must carry the session identity in its key so sessions at
+        # different scales sharing one disk tier never collide.
+        arrays = self.store.get_or_stream(
+            "dstream_addr_bundle",
+            GENERATOR_VERSION,
+            produce,
+            session=self.spec().digest(),
+        )
+        return arrays["addresses"]
+
     def dstream_blocks(self, block_words: int) -> np.ndarray:
         """Multiprogrammed data stream at cache-block granularity."""
 
@@ -586,6 +660,57 @@ class SuiteMeasurement:
                 f"power of two: {capacity} words"
             )
         return capacity
+
+    def _cube_executor(self) -> SweepExecutor:
+        executor = SweepExecutor(jobs=self.cube_jobs, backend="process")
+        executor.tracer = self.tracer
+        return executor
+
+    def _build_cube(
+        self,
+        streams: Mapping[int, np.ndarray],
+        set_counts: Mapping[int, Sequence[int]],
+        ways: int,
+    ) -> MissCube:
+        """One cube build: serial engine, or set-partitioned at cube_jobs > 1.
+
+        Both paths produce bit-identical counts (the partitioned merge
+        is an exact integer sum), so the choice never shows in a stored
+        artifact — only in wall-clock and peak memory.
+        """
+        if self.cube_jobs <= 1:
+            return miss_cube(streams, set_counts, ways)
+        executor = self._cube_executor()
+        try:
+            return partitioned_miss_cube(
+                streams, set_counts, ways, executor=executor, tracer=self.tracer
+            )
+        finally:
+            executor.shutdown()
+
+    def _build_cube_from_addresses(
+        self,
+        addresses: np.ndarray,
+        blocks: Tuple[int, ...],
+        set_counts: Mapping[int, Sequence[int]],
+        ways: int,
+    ) -> MissCube:
+        """Address-stream cube build, out-of-core at cube_jobs > 1."""
+        if self.cube_jobs <= 1:
+            return miss_cube(ShiftedStreams(addresses, blocks), set_counts, ways)
+        executor = self._cube_executor()
+        try:
+            return partitioned_miss_cube_from_addresses(
+                addresses,
+                blocks,
+                set_counts,
+                ways,
+                executor=executor,
+                tracer=self.tracer,
+                cross_check=False,  # _check_cube_base covers the whole stream
+            )
+        finally:
+            executor.shutdown()
 
     def _check_cube_base(
         self, kind: str, cube: MissCube, streams: Mapping[int, np.ndarray]
@@ -708,7 +833,7 @@ class SuiteMeasurement:
             ) as span:
                 span.count("block_sizes", len(blocks))
                 span.count("references", sum(len(s) for s in streams.values()))
-                cube = miss_cube(streams, set_counts, ways)
+                cube = self._build_cube(streams, set_counts, ways)
             self._check_cube_base("imiss_cube", cube, streams)
             return cube
 
@@ -745,7 +870,6 @@ class SuiteMeasurement:
 
         def build() -> MissCube:
             self.tracer.count("cache_sweeps")
-            streams = {B: self.dstream_blocks(B) for B in blocks}
             with self.tracer.span(
                 "dmiss.cube",
                 blocks=",".join(str(b) for b in blocks),
@@ -753,8 +877,24 @@ class SuiteMeasurement:
                 max_ways=ways,
             ) as span:
                 span.count("block_sizes", len(blocks))
-                span.count("references", sum(len(s) for s in streams.values()))
-                cube = miss_cube(streams, set_counts, ways)
+                if self.cube_jobs > 1:
+                    # Parallel builds consume the memory-mapped address
+                    # bundle out-of-core instead of materializing one
+                    # block stream per block size.
+                    addresses = self.dstream_address_bundle()
+                    span.count("references", len(blocks) * len(addresses))
+                    streams: Mapping[int, np.ndarray] = ShiftedStreams(
+                        addresses, blocks
+                    )
+                    cube = self._build_cube_from_addresses(
+                        addresses, blocks, set_counts, ways
+                    )
+                else:
+                    streams = {B: self.dstream_blocks(B) for B in blocks}
+                    span.count(
+                        "references", sum(len(s) for s in streams.values())
+                    )
+                    cube = miss_cube(streams, set_counts, ways)
             self._check_cube_base("dmiss_cube", cube, streams)
             return cube
 

@@ -111,12 +111,20 @@ class SessionRegistry:
             )
         return scale
 
-    def get(self, scale: Optional[str] = None, jobs: Optional[int] = None) -> Any:
+    def get(
+        self,
+        scale: Optional[str] = None,
+        jobs: Optional[int] = None,
+        cube_jobs: Optional[int] = None,
+    ) -> Any:
         """The session for a scale, built on first use (memoized).
 
         ``jobs`` configures the session's sweep executor; passing a new
         value to an existing session swaps its executor in place so a CLI
         flag applies even when the session was built earlier.
+        ``cube_jobs`` sizes the set-partitioned parallel miss-cube
+        builds the same way (1 restores the serial engine; counts are
+        bit-identical either way).
         """
         scale = self.resolve_scale(scale)
         session = self._sessions.get(scale)
@@ -131,6 +139,8 @@ class SessionRegistry:
         elif jobs is not None and session.executor.jobs != jobs:
             session.executor.shutdown()
             session.executor = SweepExecutor(jobs=jobs)
+        if cube_jobs is not None:
+            session.attach_cube_jobs(cube_jobs)
         return session
 
     def set(self, scale: str, session: Any) -> None:

@@ -32,7 +32,10 @@ committed at the repo root is one quick-scale run of this tool).
 from __future__ import annotations
 
 import argparse
+import resource
+import shutil
 import sys
+import tempfile
 import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -40,10 +43,16 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.cache.assoc_sim import set_associative_misses
+from repro.cache.cubepart import (
+    DEFAULT_PARTITIONS,
+    partitioned_miss_cube_from_addresses,
+)
 from repro.cache.fastsim import addresses_to_blocks
-from repro.cache.misscube import miss_cube_from_addresses
+from repro.cache.misscube import MissCube, miss_cube_from_addresses
 from repro.cache.stackdist import capacity_associativity_misses
+from repro.engine.executor import SweepExecutor
 from repro.engine.session import SessionRegistry
+from repro.engine.store import ArtifactStore
 from repro.errors import ConfigurationError
 from repro.experiments.common import EXPERIMENT_SCALES, get_measurement
 from repro.experiments.ext_associativity import ASSOCIATIVITIES, CAPACITIES_KW
@@ -51,7 +60,25 @@ from repro.experiments.ext_blocksize import BLOCK_SIZES
 from repro.obs import RunLedger
 from repro.utils.units import kw_to_words
 
-__all__ = ["main", "run_benchmark", "grid_cases"]
+__all__ = ["main", "run_benchmark", "run_scale_benchmark", "grid_cases"]
+
+#: Instruction budgets of the scale axis (``--scales`` default): three
+#: orders of magnitude up from quick scale to the paper's full
+#: 2.4G-instruction traces.
+DEFAULT_SCALE_AXIS = (
+    400_000,
+    4_000_000,
+    40_000_000,
+    400_000_000,
+    2_400_000_000,
+)
+
+#: Largest budget at which the scale benchmark also runs the one-shot
+#: serial engine and asserts the partitioned cube bit-identical to it.
+#: Past this the serial pass is skipped (that is the point of the
+#: partitioned engine) and the partitioned build carries its
+#: per-partition A=1 cross-check instead.
+DEFAULT_SERIAL_LIMIT = 400_000_000
 
 _CubeCase = Tuple[
     str, np.ndarray, Tuple[int, ...], Tuple[float, ...], Tuple[int, ...]
@@ -240,6 +267,190 @@ def run_benchmark(
     return ledger
 
 
+def _peak_rss_mb() -> float:
+    """Lifetime peak resident set (this process or any child), in MB."""
+    own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return max(own, children) / 1024.0  # Linux reports KB
+
+
+def _grid_set_counts(
+    blocks: Sequence[int],
+    capacities_kw: Sequence[float],
+    ways: Sequence[int],
+) -> Dict[int, List[int]]:
+    return {
+        B: sorted(
+            {kw_to_words(kw) // B // way for kw in capacities_kw for way in ways}
+        )
+        for B in blocks
+    }
+
+
+def _cubes_identical(a: MissCube, b: MissCube) -> bool:
+    if dict(a.references) != dict(b.references) or a.max_ways != b.max_ways:
+        return False
+    if set(a.hits) != set(b.hits):
+        return False
+    for B in a.hits:
+        if set(a.hits[B]) != set(b.hits[B]):
+            return False
+        for S in a.hits[B]:
+            if not np.array_equal(a.hits[B][S], b.hits[B][S]):
+                return False
+    return True
+
+
+def run_scale_benchmark(
+    instructions: Sequence[int],
+    repeats: int = 1,
+    cube_jobs: int = 1,
+    partitions: int = DEFAULT_PARTITIONS,
+    serial_limit: int = DEFAULT_SERIAL_LIMIT,
+    cache_dir: Optional[Path] = None,
+    stream=sys.stdout,
+) -> RunLedger:
+    """The paper-surface cube along a scale axis, up to full Table 1 size.
+
+    For each instruction budget: synthesize the multiprogrammed data
+    stream as a disk-backed bundle
+    (:meth:`~repro.core.measurement.SuiteMeasurement.
+    dstream_address_bundle` — the memory-mapped view is what both
+    engines consume), then time the whole paper block-size surface
+    through the set-partitioned out-of-core engine.  Budgets up to
+    ``serial_limit`` also run the serial one-shot engine and the two
+    cubes are asserted **bit-identical** (fatal otherwise); above the
+    limit the serial pass is skipped and the partitioned build keeps its
+    per-partition ``A = 1`` cross-check against the independent
+    direct-mapped sweep.  Peak RSS (self and children) is recorded per
+    budget, so the ledger shows full-scale memory staying bounded by the
+    partition size rather than the trace length.
+    """
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be at least 1, got {repeats}")
+    if not instructions:
+        raise ConfigurationError("need at least one instruction budget")
+    blocks = tuple(BLOCK_SIZES)
+    capacities_kw = tuple(CAPACITIES_KW)
+    ways = tuple(ASSOCIATIVITIES)
+    set_counts = _grid_set_counts(blocks, capacities_kw, ways)
+    own_cache = cache_dir is None
+    root = (
+        Path(tempfile.mkdtemp(prefix="repro-bench-cube-"))
+        if own_cache
+        else Path(cache_dir)
+    )
+    ledger = RunLedger()
+    per_scale: List[Dict[str, object]] = []
+    try:
+        for total in sorted(int(n) for n in instructions):
+            synth_started = time.perf_counter()
+            from repro.core.measurement import SuiteMeasurement
+
+            measurement = SuiteMeasurement(
+                total_instructions=total,
+                store=ArtifactStore(cache_dir=root),
+            )
+            addresses = measurement.dstream_address_bundle()
+            synth_s = time.perf_counter() - synth_started
+            refs = len(addresses)
+
+            serial_s: Optional[float] = None
+            serial_cube: Optional[MissCube] = None
+            if total <= serial_limit:
+                serial_s = float("inf")
+                for _ in range(repeats):
+                    started = time.perf_counter()
+                    serial_cube = miss_cube_from_addresses(
+                        addresses, blocks, set_counts, max(ways)
+                    )
+                    serial_s = min(serial_s, time.perf_counter() - started)
+
+            executor = SweepExecutor(jobs=cube_jobs)
+            part_s = float("inf")
+            try:
+                for _ in range(repeats):
+                    started = time.perf_counter()
+                    part_cube = partitioned_miss_cube_from_addresses(
+                        addresses,
+                        blocks,
+                        set_counts,
+                        max(ways),
+                        partitions=partitions,
+                        executor=executor,
+                        cross_check=True,
+                    )
+                    part_s = min(part_s, time.perf_counter() - started)
+            finally:
+                executor.shutdown()
+
+            identical: Optional[bool] = None
+            if serial_cube is not None:
+                identical = _cubes_identical(serial_cube, part_cube)
+                if not identical:
+                    raise ConfigurationError(
+                        f"partitioned cube disagrees with the serial engine "
+                        f"at {total} instructions"
+                    )
+            rss_mb = _peak_rss_mb()
+            entry = {
+                "instructions": total,
+                "references": refs,
+                "synth_wall_s": round(synth_s, 3),
+                "serial_wall_s": (
+                    round(serial_s, 3) if serial_s is not None else None
+                ),
+                "partitioned_wall_s": round(part_s, 3),
+                "serial_instr_per_s": (
+                    round(total / serial_s, 1) if serial_s else None
+                ),
+                "partitioned_instr_per_s": round(total / part_s, 1),
+                "bit_identical_to_serial": identical,
+                "peak_rss_mb": round(rss_mb, 1),
+            }
+            per_scale.append(entry)
+            if serial_s is not None:
+                ledger.record_experiment(f"cube_serial:{total}", serial_s)
+            ledger.record_experiment(f"cube_partitioned:{total}", part_s)
+            serial_txt = f"serial={serial_s:.3f}s " if serial_s is not None else ""
+            ident_txt = (
+                "identical " if identical else ("" if identical is None else "DIFFER ")
+            )
+            print(
+                f"[scale {total}] refs={refs} synth={synth_s:.3f}s "
+                f"{serial_txt}partitioned={part_s:.3f}s {ident_txt}"
+                f"({total / part_s:,.0f} instr/s, peak_rss={rss_mb:.0f}MB)",
+                file=stream,
+            )
+            del addresses, serial_cube, part_cube, measurement
+    finally:
+        if own_cache:
+            shutil.rmtree(root, ignore_errors=True)
+    full = per_scale[-1]
+    ledger.set_run_info(
+        benchmark="miss-cube-scale",
+        partitions=partitions,
+        cube_jobs=cube_jobs,
+        repeats=repeats,
+        serial_limit=serial_limit,
+        scales=per_scale,
+        full_scale_instructions=full["instructions"],
+        full_scale_wall_s=full["partitioned_wall_s"],
+        full_scale_wall_min=round(full["partitioned_wall_s"] / 60.0, 2),
+        full_scale_instr_per_s=full["partitioned_instr_per_s"],
+        peak_rss_mb=full["peak_rss_mb"],
+        wall_s=sum(e["partitioned_wall_s"] for e in per_scale),
+    )
+    print(
+        f"full scale: {full['instructions']:,} instructions in "
+        f"{full['partitioned_wall_s'] / 60.0:.1f} min "
+        f"({full['partitioned_instr_per_s']:,.0f} instr/s), "
+        f"peak rss {full['peak_rss_mb']:.0f} MB",
+        file=stream,
+    )
+    return ledger
+
+
 def _default_registry() -> SessionRegistry:
     from repro.engine.session import DEFAULT_REGISTRY
 
@@ -270,11 +481,63 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="PATH",
         help="write the run ledger (JSON + ASCII twin) here",
     )
+    parser.add_argument(
+        "--scales",
+        type=str,
+        default=None,
+        metavar="N,N,...",
+        help="comma-separated instruction budgets for the scale-axis "
+        "benchmark (e.g. 400000,4000000); 'paper' selects the full axis "
+        "up to 2.4G instructions; overrides --scale",
+    )
+    parser.add_argument(
+        "--cube-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the partitioned reduce (default: 1)",
+    )
+    parser.add_argument(
+        "--partitions",
+        type=int,
+        default=DEFAULT_PARTITIONS,
+        metavar="P",
+        help="set partitions for the out-of-core engine (power of two, "
+        f"default: {DEFAULT_PARTITIONS})",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="artifact/spill directory for the scale benchmark "
+        "(default: a fresh temp dir, removed afterwards)",
+    )
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error(f"--repeats must be at least 1, got {args.repeats}")
+    if args.cube_jobs < 1:
+        parser.error(f"--cube-jobs must be at least 1, got {args.cube_jobs}")
     try:
-        ledger = run_benchmark(scale=args.scale, repeats=args.repeats)
+        if args.scales is not None:
+            if args.scales.strip() == "paper":
+                budgets: Sequence[int] = DEFAULT_SCALE_AXIS
+            else:
+                try:
+                    budgets = [
+                        int(part) for part in args.scales.split(",") if part
+                    ]
+                except ValueError:
+                    parser.error(f"invalid --scales value: {args.scales!r}")
+            ledger = run_scale_benchmark(
+                budgets,
+                repeats=args.repeats,
+                cube_jobs=args.cube_jobs,
+                partitions=args.partitions,
+                cache_dir=args.cache_dir,
+            )
+        else:
+            ledger = run_benchmark(scale=args.scale, repeats=args.repeats)
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

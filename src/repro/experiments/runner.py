@@ -141,6 +141,7 @@ def run_experiments(
     profile: bool = False,
     metrics_path: Optional[Path] = None,
     job_config: Optional[JobConfig] = None,
+    cube_jobs: Optional[int] = None,
 ) -> List[ExperimentResult]:
     """Run experiments by name (all paper artifacts by default).
 
@@ -170,7 +171,9 @@ def run_experiments(
         )
     reg = registry if registry is not None else DEFAULT_REGISTRY
     resolved_scale = reg.resolve_scale(scale)
-    measurement = get_measurement(resolved_scale, jobs=jobs, registry=reg)
+    measurement = get_measurement(
+        resolved_scale, jobs=jobs, registry=reg, cube_jobs=cube_jobs
+    )
     observing = profile or metrics_path is not None or out_dir is not None
     tracer = Tracer() if observing else NULL_TRACER
     previous_tracer = getattr(measurement, "tracer", NULL_TRACER)
@@ -311,6 +314,7 @@ def optimize_main(argv: Optional[List[str]] = None) -> int:
         help="trace scale (default: REPRO_SCALE env var or 'full')",
     )
     parser.add_argument("--jobs", type=int, default=1, metavar="N")
+    parser.add_argument("--cube-jobs", type=int, default=1, metavar="N")
     parser.add_argument(
         "--metrics",
         type=Path,
@@ -321,10 +325,14 @@ def optimize_main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be at least 1, got {args.jobs}")
+    if args.cube_jobs < 1:
+        parser.error(f"--cube-jobs must be at least 1, got {args.cube_jobs}")
     if args.leakage_scale < 0:
         parser.error("--leakage-scale cannot be negative")
     try:
-        measurement = get_measurement(args.scale, jobs=args.jobs)
+        measurement = get_measurement(
+            args.scale, jobs=args.jobs, cube_jobs=args.cube_jobs
+        )
         observing = args.metrics is not None
         tracer = Tracer() if observing else NULL_TRACER
         previous_tracer = getattr(measurement, "tracer", NULL_TRACER)
@@ -447,6 +455,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="worker processes for trace synthesis and design sweeps (default: 1)",
     )
     parser.add_argument(
+        "--cube-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for set-partitioned miss-cube builds "
+        "(bit-identical to the serial engine; default: 1)",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="print the span tree and artifact-store hit rates after the run",
@@ -513,6 +529,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.jobs < 1:
         parser.error(f"--jobs must be at least 1, got {args.jobs}")
+    if args.cube_jobs < 1:
+        parser.error(f"--cube-jobs must be at least 1, got {args.cube_jobs}")
     available = {**ALL_EXPERIMENTS, **EXTENSION_EXPERIMENTS}
     unknown = [name for name in args.experiments if name not in available]
     if unknown:
@@ -556,6 +574,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             scale=args.scale,
             out_dir=args.out,
             jobs=args.jobs,
+            cube_jobs=args.cube_jobs,
             profile=args.profile,
             metrics_path=args.metrics,
             job_config=job_config,

@@ -64,6 +64,11 @@ PROGRESS_SPANS = frozenset(
         "optimizer.serial_fallback",
         "imiss.cube",
         "dmiss.cube",
+        "cube.partition",
+        "cube.reduce",
+        "cube.progress",
+        "cube.coarse",
+        "cube.serial_fallback",
         "session.build",
         "session.prefetch_traces",
         "trace.synthesize",

@@ -16,13 +16,18 @@ total work, matching the paper's execution-time weighting.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import TraceError
 
-__all__ = ["multiprogram_quanta", "interleave_chunks", "address_space_offset"]
+__all__ = [
+    "multiprogram_quanta",
+    "interleave_chunks",
+    "iter_interleaved",
+    "address_space_offset",
+]
 
 #: Default context-switch quantum in instructions (a few milliseconds of
 #: early-1990s CPU time, matching multiprogrammed-trace studies).
@@ -52,14 +57,35 @@ def interleave_chunks(
     Benchmarks that run out simply drop out of the rotation; the output
     contains every input element exactly once, in quantum order.
     """
+    if not arrays:
+        _check_interleave_args(arrays, chunk_sizes)
+        return np.empty(0, dtype=np.int64)
+    pieces: List[np.ndarray] = list(iter_interleaved(arrays, chunk_sizes))
+    return np.concatenate(pieces) if pieces else np.empty(0, dtype=arrays[0].dtype)
+
+
+def _check_interleave_args(
+    arrays: Sequence[np.ndarray], chunk_sizes: Sequence[int]
+) -> None:
     if len(arrays) != len(chunk_sizes):
         raise TraceError("arrays and chunk_sizes must have the same length")
-    if not arrays:
-        return np.empty(0, dtype=np.int64)
     if any(size <= 0 for size in chunk_sizes):
         raise TraceError("chunk sizes must be positive")
+
+
+def iter_interleaved(
+    arrays: Sequence[np.ndarray], chunk_sizes: Sequence[int]
+) -> Iterator[np.ndarray]:
+    """The quanta of :func:`interleave_chunks`, one piece at a time.
+
+    Same validation, same round-robin schedule, same piece order:
+    concatenating the yielded views reproduces
+    ``interleave_chunks(arrays, chunk_sizes)`` bit for bit, while the
+    caller — a streaming bundle producer, typically — holds one quantum
+    at a time instead of the whole interleaved stream.
+    """
+    _check_interleave_args(arrays, chunk_sizes)
     cursors = [0] * len(arrays)
-    pieces: List[np.ndarray] = []
     remaining = sum(len(a) for a in arrays)
     while remaining > 0:
         for i, source in enumerate(arrays):
@@ -67,10 +93,9 @@ def interleave_chunks(
             if start >= len(source):
                 continue
             stop = min(len(source), start + chunk_sizes[i])
-            pieces.append(source[start:stop])
+            yield source[start:stop]
             cursors[i] = stop
             remaining -= stop - start
-    return np.concatenate(pieces) if pieces else np.empty(0, dtype=arrays[0].dtype)
 
 
 def address_space_offset(benchmark_index: int) -> int:

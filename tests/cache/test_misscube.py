@@ -15,6 +15,7 @@ from hypothesis import strategies as st
 from repro.cache import (
     Cache,
     MissCube,
+    ShiftedStreams,
     addresses_to_blocks,
     capacity_set_counts,
     direct_mapped_miss_sweep,
@@ -232,3 +233,64 @@ class TestCapacitySetCounts:
     def test_context_in_message(self):
         with pytest.raises(ConfigurationError, match="invalid L1-D geometry"):
             capacity_set_counts((4,), 768, context="L1-D")
+
+
+class TestShiftedStreams:
+    def test_lazy_views_match_eager_shifts(self):
+        addrs = np.array([0, 64, 128, 64, 4, 8], dtype=np.int64)
+        streams = ShiftedStreams(addrs, (4, 8, 16))
+        for B in (4, 8, 16):
+            assert np.array_equal(streams[B], addresses_to_blocks(addrs, B))
+
+    def test_mapping_protocol(self):
+        streams = ShiftedStreams(np.arange(8, dtype=np.int64), (4, 16))
+        assert set(streams) == {4, 16}
+        assert len(streams) == 2
+        assert 4 in streams and 8 not in streams
+        with pytest.raises(KeyError):
+            streams[8]
+
+    def test_cube_accepts_lazy_streams(self):
+        addrs = np.array([0, 32, 0, 96, 32, 0], dtype=np.int64)
+        eager = miss_cube_from_addresses(addrs, (4, 8), (1, 2, 4), 2)
+        lazy = miss_cube(ShiftedStreams(addrs, (4, 8)), (1, 2, 4), 2)
+        assert eager.references == lazy.references
+        for B in eager.hits:
+            for S in eager.hits[B]:
+                assert np.array_equal(eager.hits[B][S], lazy.hits[B][S])
+
+
+class TestMemmapNoCopy:
+    def test_memmap_addresses_end_to_end_without_eager_blowup(self, tmp_path):
+        # The eager path used to materialize every per-block-size shift
+        # of the address stream up front (3 full copies for 3 block
+        # sizes, on top of the engine's own transient).  With a memmap
+        # source and ShiftedStreams the cube must stay within roughly
+        # one shifted stream plus engine transients at a time.
+        import tracemalloc
+
+        rng = np.random.default_rng(7)
+        addrs = np.repeat(rng.integers(0, 1 << 14, size=20_000), 64).astype(
+            np.int64
+        )
+        path = tmp_path / "addrs.npy"
+        np.save(path, addrs)
+        mapped = np.load(path, mmap_mode="r")
+        assert isinstance(mapped, np.memmap)
+
+        eager = miss_cube_from_addresses(addrs, (4, 8, 16), (16, 32), 2)
+
+        tracemalloc.start()
+        lazy = miss_cube_from_addresses(mapped, (4, 8, 16), (16, 32), 2)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        assert eager.references == lazy.references
+        for B in eager.hits:
+            for S in eager.hits[B]:
+                assert np.array_equal(eager.hits[B][S], lazy.hits[B][S])
+        # Three eagerly shifted copies alone are 3x the stream before
+        # the engine even starts (measured ~4.2x peak); the lazy path
+        # peaks at ~1.2x, so a 2x bound fails if the implicit per-block
+        # copies ever come back.
+        assert peak < 2 * addrs.nbytes

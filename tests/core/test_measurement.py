@@ -413,3 +413,48 @@ class TestSharedTraceBuffers:
             assert group not in SHARED_BUNDLES
         finally:
             SHARED_BUNDLES.retire(group)
+
+
+class TestPartitionedCubePath:
+    """cube_jobs plumbing: bundle identity and bit-identical cubes."""
+
+    def _session(self, cube_jobs=None):
+        session = SuiteMeasurement(
+            specs=[benchmark_by_name(n) for n in ("small", "yacc")],
+            total_instructions=120_000,
+            min_benchmark_instructions=30_000,
+            use_disk_cache=False,
+        )
+        if cube_jobs is not None:
+            session.attach_cube_jobs(cube_jobs)
+        return session
+
+    def test_attach_cube_jobs_validates(self):
+        session = self._session()
+        with pytest.raises(ConfigurationError):
+            session.attach_cube_jobs(0)
+        session.attach_cube_jobs(None)
+        assert session.cube_jobs == 1
+        session.attach_cube_jobs(3)
+        assert session.cube_jobs == 3
+
+    def test_address_bundle_matches_eager_stream(self):
+        session = self._session()
+        assert np.array_equal(
+            session.dstream_address_bundle(), session.dstream_addresses()
+        )
+
+    def test_parallel_cubes_bit_identical_to_serial(self):
+        serial = self._session()
+        parallel = self._session(cube_jobs=2)
+        builds = [
+            lambda s: s.icache_miss_cube(1, (4, 8, 16), 4096, 4),
+            lambda s: s.dcache_miss_cube((4, 8, 16), 4096, 4),
+        ]
+        for build in builds:
+            a = build(serial)
+            b = build(parallel)
+            assert dict(a.references) == dict(b.references)
+            for B in a.hits:
+                for S in a.hits[B]:
+                    assert np.array_equal(a.hits[B][S], b.hits[B][S]), (B, S)

@@ -9,6 +9,7 @@ from repro.errors import TraceError
 from repro.trace.multiprogram import (
     address_space_offset,
     interleave_chunks,
+    iter_interleaved,
     multiprogram_quanta,
 )
 
@@ -87,3 +88,42 @@ class TestAddressSpaceOffset:
     def test_negative_rejected(self):
         with pytest.raises(TraceError):
             address_space_offset(-1)
+
+
+class TestIterInterleaved:
+    def test_pieces_concatenate_to_interleave_chunks(self):
+        a = np.arange(1, 8)
+        b = np.arange(100, 103)
+        pieces = list(iter_interleaved([a, b], [3, 2]))
+        assert np.array_equal(
+            np.concatenate(pieces), interleave_chunks([a, b], [3, 2])
+        )
+
+    def test_pieces_are_views_not_copies(self):
+        a = np.arange(10)
+        for piece in iter_interleaved([a], [4]):
+            assert np.shares_memory(piece, a)
+
+    def test_validates_before_yielding(self):
+        with pytest.raises(TraceError):
+            list(iter_interleaved([np.array([1])], [1, 2]))
+        with pytest.raises(TraceError):
+            list(iter_interleaved([np.array([1])], [0]))
+
+    @given(
+        lengths=st.lists(st.integers(0, 40), min_size=1, max_size=4),
+        quanta=st.lists(st.integers(1, 9), min_size=4, max_size=4),
+    )
+    def test_streaming_matches_eager_bit_for_bit(self, lengths, quanta):
+        arrays = [
+            np.arange(i * 1000, i * 1000 + n) for i, n in enumerate(lengths)
+        ]
+        sizes = quanta[: len(arrays)]
+        eager = interleave_chunks(arrays, sizes)
+        pieces = list(iter_interleaved(arrays, sizes))
+        streamed = (
+            np.concatenate(pieces)
+            if pieces
+            else np.empty(0, dtype=arrays[0].dtype)
+        )
+        assert np.array_equal(streamed, eager)
